@@ -1,0 +1,234 @@
+package nlarm
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation section (reduced sizes so a full -bench=. pass stays in the
+// minutes range; run cmd/nlarm-experiments for the full-scale artifacts),
+// plus micro-benchmarks for the allocation algorithm itself, which the
+// paper claims runs in ~1-2 ms ("practically nil overhead", §3.3.2).
+
+import (
+	"testing"
+	"time"
+
+	"nlarm/internal/alloc"
+	"nlarm/internal/harness"
+	"nlarm/internal/monitor"
+	"nlarm/internal/rng"
+)
+
+// BenchmarkFigure1ResourceTraces regenerates Figure 1 (node resource-usage
+// variation over time on the shared cluster).
+func BenchmarkFigure1ResourceTraces(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Figure1(uint64(i), 6, 20, 5*time.Minute); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2BandwidthMatrix regenerates Figure 2 (P2P bandwidth
+// heatmap and per-pair variation over time).
+func BenchmarkFigure2BandwidthMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Figure2(uint64(i), 30, 3, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchScaling runs a reduced strong-scaling comparison and reports the
+// headline gain as a custom metric.
+func benchScaling(b *testing.B, cfg harness.ScalingConfig) {
+	b.Helper()
+	var lastGain float64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		data, err := harness.RunScaling(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s, ok := data.Gains().Rows["random"]; ok {
+			lastGain = s.Mean
+		}
+	}
+	b.ReportMetric(lastGain, "gain%-vs-random")
+}
+
+// BenchmarkFigure4MiniMDScaling regenerates Figure 4 (miniMD strong
+// scaling under the four allocation policies) at reduced size.
+func BenchmarkFigure4MiniMDScaling(b *testing.B) {
+	benchScaling(b, harness.QuickScalingConfig(harness.PaperMiniMDConfig(1)))
+}
+
+// BenchmarkFigure5LoadPerCore regenerates Figure 5 (average CPU load per
+// logical core of the allocated groups) from a reduced miniMD run.
+func BenchmarkFigure5LoadPerCore(b *testing.B) {
+	cfg := harness.QuickScalingConfig(harness.PaperMiniMDConfig(2))
+	var nlaLoad float64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		data, err := harness.RunScaling(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nlaLoad = data.LoadPerCore()[harness.NLAName]
+	}
+	b.ReportMetric(nlaLoad, "nla-load/core")
+}
+
+// BenchmarkTable2MiniMDGains regenerates Table 2 (miniMD percentage gains
+// of the network-and-load-aware policy).
+func BenchmarkTable2MiniMDGains(b *testing.B) {
+	benchScaling(b, harness.QuickScalingConfig(harness.PaperMiniMDConfig(3)))
+}
+
+// BenchmarkFigure6MiniFEScaling regenerates Figure 6 (miniFE strong
+// scaling) at reduced size.
+func BenchmarkFigure6MiniFEScaling(b *testing.B) {
+	benchScaling(b, harness.QuickScalingConfig(harness.PaperMiniFEConfig(4)))
+}
+
+// BenchmarkTable3MiniFEGains regenerates Table 3 (miniFE percentage
+// gains).
+func BenchmarkTable3MiniFEGains(b *testing.B) {
+	benchScaling(b, harness.QuickScalingConfig(harness.PaperMiniFEConfig(5)))
+}
+
+// BenchmarkTable4Figure7Analysis regenerates the §5.3 allocation analysis
+// (Table 4 group states and Figure 7's cluster snapshot).
+func BenchmarkTable4Figure7Analysis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.AllocationAnalysis(uint64(i+1), 30); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Algorithm micro-benchmarks ---------------------------------------------
+
+// benchSnapshot builds a fully-monitored 60-node snapshot once.
+func benchSnapshot(b *testing.B) *Simulation {
+	b.Helper()
+	sim, err := NewSimulation(SimulationConfig{Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(sim.Close)
+	sim.WarmUp()
+	return sim
+}
+
+// BenchmarkNetLoadAwareAllocate measures the full heuristic (Algorithms
+// 1+2 over 60 nodes and 1770 measured pairs). The paper reports ~1-2 ms.
+func BenchmarkNetLoadAwareAllocate(b *testing.B) {
+	sim := benchSnapshot(b)
+	snap, err := monitor.ReadSnapshot(sim.Harness.Store, sim.Now())
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := alloc.Request{Procs: 32, PPN: 4, Alpha: 0.3, Beta: 0.7}
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (alloc.NetLoadAware{}).Allocate(snap, req, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBaselinePolicies measures the three baseline allocators on the
+// same snapshot.
+func BenchmarkBaselinePolicies(b *testing.B) {
+	sim := benchSnapshot(b)
+	snap, err := monitor.ReadSnapshot(sim.Harness.Store, sim.Now())
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := alloc.Request{Procs: 32, PPN: 4, Alpha: 0.3, Beta: 0.7}
+	for _, pol := range []alloc.Policy{alloc.Random{}, alloc.Sequential{}, alloc.LoadAware{}} {
+		b.Run(pol.Name(), func(b *testing.B) {
+			r := rng.New(1)
+			for i := 0; i < b.N; i++ {
+				if _, err := pol.Allocate(snap, req, r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkComputeLoads measures Equation 1's SAW evaluation over the
+// whole cluster.
+func BenchmarkComputeLoads(b *testing.B) {
+	sim := benchSnapshot(b)
+	snap, err := monitor.ReadSnapshot(sim.Harness.Store, sim.Now())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := alloc.MonitoredLivehosts(snap)
+	w := alloc.PaperWeights()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := alloc.ComputeLoads(snap, ids, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNetworkLoads measures Equation 2 over all 1770 pairs.
+func BenchmarkNetworkLoads(b *testing.B) {
+	sim := benchSnapshot(b)
+	snap, err := monitor.ReadSnapshot(sim.Harness.Store, sim.Now())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := alloc.MonitoredLivehosts(snap)
+	w := alloc.PaperWeights()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := alloc.NetworkLoads(snap, ids, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMonitorSweep measures one full LatencyD+BandwidthD sweep of
+// the 60-node cluster (the monitoring cost the paper keeps off the
+// critical path by amortizing over 1- and 5-minute periods).
+func BenchmarkMonitorSweep(b *testing.B) {
+	sim := benchSnapshot(b)
+	h := sim.Harness
+	pr := &monitor.WorldProber{W: h.World}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, round := range monitor.Rounds(livehostIDs(60)) {
+			for _, p := range round {
+				if _, err := pr.MeasureLatency(p[0], p[1]); err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := pr.MeasureBandwidth(p[0], p[1]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func livehostIDs(n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+// BenchmarkSimulatedDayOfMonitoring measures how fast the whole stack
+// (world + all daemons) advances virtual time: one benchmark iteration is
+// one simulated hour of the 60-node cluster.
+func BenchmarkSimulatedDayOfMonitoring(b *testing.B) {
+	sim := benchSnapshot(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Advance(time.Hour)
+	}
+}

@@ -1,0 +1,105 @@
+// nlarm-broker runs the full resource-manager stack as a real daemon: the
+// simulated shared cluster advancing in wall-clock time, the monitoring
+// daemons publishing into a store (in-memory or a directory, mirroring
+// the paper's NFS layout), and the broker answering allocation requests
+// over TCP (see cmd/nlarm-alloc for the client).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nlarm/internal/broker"
+	"nlarm/internal/cluster"
+	"nlarm/internal/jobqueue"
+	"nlarm/internal/metrics"
+	"nlarm/internal/monitor"
+	"nlarm/internal/simtime"
+	"nlarm/internal/store"
+	"nlarm/internal/world"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7077", "TCP listen address")
+		seed     = flag.Uint64("seed", 42, "simulation seed")
+		storeDir = flag.String("store", "", "directory for the shared store (empty = in-memory)")
+		stateSec = flag.Duration("nodestate-period", 5*time.Second, "NodeStateD sampling period")
+		latSec   = flag.Duration("latency-period", time.Minute, "LatencyD sweep period")
+		bwSec    = flag.Duration("bandwidth-period", 5*time.Minute, "BandwidthD sweep period")
+		retrySec = flag.Duration("queue-retry", 30*time.Second, "job-queue retry period")
+	)
+	flag.Parse()
+
+	cl, err := cluster.BuildIITK()
+	if err != nil {
+		fatal(err)
+	}
+	var st store.Store
+	if *storeDir != "" {
+		st, err = store.NewFile(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		st = store.NewMem()
+	}
+
+	rt := simtime.NewRealRuntime()
+	defer rt.Close()
+	w := world.New(cl, world.Config{Seed: *seed, StepSize: 250 * time.Millisecond}, rt.Now())
+	stopWorld := w.Attach(rt)
+	defer stopWorld()
+
+	mgr := monitor.NewManager(&monitor.WorldProber{W: w}, st, monitor.Config{
+		NodeStatePeriod: *stateSec,
+		LatencyPeriod:   *latSec,
+		BandwidthPeriod: *bwSec,
+	})
+	if err := mgr.Start(rt); err != nil {
+		fatal(err)
+	}
+	defer mgr.Stop()
+
+	b := broker.New(st, rt, broker.Config{Seed: *seed})
+	// Job submission: queued jobs run as simulated MPI jobs in the world.
+	queue := jobqueue.New(b, rt, jobqueue.Config{RetryPeriod: *retrySec})
+	if err := queue.Start(); err != nil {
+		fatal(err)
+	}
+	defer queue.Stop()
+	mgrJobs := jobqueue.NewWorldManager(queue, w).WithPredictions(func() (*metrics.Snapshot, error) {
+		return monitor.ReadSnapshot(st, rt.Now())
+	})
+	srv, err := broker.NewManagedServer(b, mgrJobs, *addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer srv.Close()
+
+	fmt.Printf("nlarm-broker: %d-node cluster, listening on %s\n", cl.Size(), srv.Addr())
+	fmt.Printf("nlarm-broker: monitoring %d policies=%v store=%s\n",
+		cl.Size(), b.Policies(), storeDesc(*storeDir))
+	fmt.Println("nlarm-broker: waiting for the first bandwidth sweep before allocations succeed...")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("nlarm-broker: shutting down")
+}
+
+func storeDesc(dir string) string {
+	if dir == "" {
+		return "memory"
+	}
+	return dir
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nlarm-broker:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,229 @@
+// nlarm-experiments regenerates every table and figure of the paper's
+// evaluation section on the simulated cluster.
+//
+// Usage:
+//
+//	nlarm-experiments -run all            # everything (minutes)
+//	nlarm-experiments -run fig4 -quick    # one artifact, reduced size
+//	nlarm-experiments -run table2 -csv out/
+//
+// Artifacts: fig1, fig2, fig4, fig5, table2, fig6, table3, table4, fig7,
+// cov, ablation. fig5/table2/cov are computed from fig4's runs; table4 and
+// fig7 come from the same allocation-analysis run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"nlarm/internal/harness"
+	"nlarm/internal/trace"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "all", "artifact to regenerate (all, fig1, fig2, fig4, fig5, table2, fig6, table3, table4, fig7, cov, ablation, multicluster, predict, cosched)")
+		seed  = flag.Uint64("seed", 42, "simulation seed")
+		quick = flag.Bool("quick", false, "reduced problem sizes and repeats")
+		csv   = flag.String("csv", "", "directory to also write CSV tables into")
+	)
+	flag.Parse()
+
+	want := func(name string) bool { return *run == "all" || *run == name }
+	start := time.Now()
+
+	if *csv != "" {
+		if err := os.MkdirAll(*csv, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	if want("fig1") {
+		hours := 48
+		if *quick {
+			hours = 6
+		}
+		d, err := harness.Figure1(*seed, hours, 20, 5*time.Minute)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(harness.FormatFig1(d))
+		writeRecorderCSV(*csv, "figure1_traces.csv", d.Recorder())
+	}
+
+	if want("fig2") {
+		nodes, sweeps, hours := 30, 10, 48
+		if *quick {
+			nodes, sweeps, hours = 16, 3, 4
+		}
+		d, err := harness.Figure2(*seed, nodes, sweeps, hours)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(harness.FormatFig2(d))
+		writeRecorderCSV(*csv, "figure2_pairs.csv", d.Recorder())
+	}
+
+	var mdData *harness.ScalingData
+	needMD := want("fig4") || want("fig5") || want("table2") || want("cov")
+	if needMD {
+		cfg := harness.PaperMiniMDConfig(*seed)
+		if *quick {
+			cfg = harness.QuickScalingConfig(cfg)
+		}
+		var err error
+		mdData, err = harness.RunScaling(cfg)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if want("fig4") {
+		fmt.Println(harness.FormatScaling(mdData))
+		writeCSV(*csv, "figure4_minimd.csv", scalingTable(mdData))
+	}
+	if want("table2") {
+		fmt.Println(harness.FormatGains(mdData.Gains(), "Table 2"))
+		fmt.Println()
+	}
+	if want("fig5") {
+		fmt.Println(harness.FormatLoadPerCore(mdData.LoadPerCore()))
+		fmt.Println()
+	}
+	if want("cov") {
+		fmt.Println(harness.FormatCoV(mdData.OverallCoV()))
+		fmt.Println()
+	}
+
+	if want("fig6") || want("table3") {
+		cfg := harness.PaperMiniFEConfig(*seed)
+		if *quick {
+			cfg = harness.QuickScalingConfig(cfg)
+		}
+		feData, err := harness.RunScaling(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if want("fig6") {
+			fmt.Println(harness.FormatScaling(feData))
+			writeCSV(*csv, "figure6_minife.csv", scalingTable(feData))
+		}
+		if want("table3") {
+			fmt.Println(harness.FormatGains(feData.Gains(), "Table 3"))
+			fmt.Println()
+		}
+	}
+
+	if want("table4") || want("fig7") {
+		iters := 100
+		if *quick {
+			iters = 30
+		}
+		d, err := harness.AllocationAnalysis(*seed, iters)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(harness.FormatAnalysis(d))
+	}
+
+	if want("cosched") {
+		cfg := harness.CoScheduleConfig{Seed: *seed}
+		if *quick {
+			cfg.Repeats = 1
+			cfg.Iterations = 30
+		}
+		d, err := harness.RunCoSchedule(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(harness.FormatCoSchedule(d))
+	}
+
+	if want("predict") {
+		cfg := harness.PredictionConfig{Seed: *seed}
+		if *quick {
+			cfg.Runs = 8
+			cfg.Iterations = 30
+		}
+		d, err := harness.RunPredictionStudy(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(harness.FormatPrediction(d))
+	}
+
+	if want("multicluster") {
+		cfg := harness.DefaultMultiClusterConfig(*seed)
+		if *quick {
+			cfg.Repeats = 2
+			cfg.Iterations = 30
+		}
+		d, err := harness.RunMultiCluster(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(harness.FormatMultiCluster(d))
+	}
+
+	if want("ablation") {
+		cfg := harness.DefaultAblationConfig(*seed)
+		if *quick {
+			cfg.Repeats = 2
+			cfg.Iterations = 30
+		}
+		d, err := harness.RunAblation(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(harness.FormatAblation(d))
+	}
+
+	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// scalingTable flattens scaling data into one CSV-able table.
+func scalingTable(d *harness.ScalingData) *harness.Table {
+	t := &harness.Table{Header: []string{"procs", "size", "policy", "mean_seconds", "cov"}}
+	for _, c := range d.Cells {
+		for pol, mean := range c.Mean {
+			t.AddRow(fmt.Sprintf("%d", c.Procs), fmt.Sprintf("%d", c.Size), pol,
+				fmt.Sprintf("%.4f", mean), fmt.Sprintf("%.4f", c.CoV[pol]))
+		}
+	}
+	return t
+}
+
+func writeCSV(dir, name string, t *harness.Table) {
+	if dir == "" || t == nil {
+		return
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := t.WriteCSV(f); err != nil {
+		fatal(err)
+	}
+}
+
+func writeRecorderCSV(dir, name string, r *trace.Recorder) {
+	if dir == "" || r == nil {
+		return
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := r.WriteCSV(f); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nlarm-experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,85 @@
+// nlarm-monitor runs only the Resource Monitor half of the system: the
+// daemons sample the (simulated) cluster and publish to a store directory
+// so the contents can be inspected as files, exactly like the paper's NFS
+// layout. A periodic summary line shows the monitor's health.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nlarm/internal/cluster"
+	"nlarm/internal/monitor"
+	"nlarm/internal/replay"
+	"nlarm/internal/simtime"
+	"nlarm/internal/store"
+	"nlarm/internal/world"
+)
+
+func main() {
+	var (
+		storeDir = flag.String("store", "nlarm-store", "directory for the shared store")
+		seed     = flag.Uint64("seed", 42, "simulation seed")
+		interval = flag.Duration("report", 10*time.Second, "summary report interval")
+		archive  = flag.Duration("archive", 0, "snapshot archive period (0 = disabled); archived snapshots support offline replay")
+	)
+	flag.Parse()
+
+	cl, err := cluster.BuildIITK()
+	if err != nil {
+		fatal(err)
+	}
+	st, err := store.NewFile(*storeDir)
+	if err != nil {
+		fatal(err)
+	}
+	rt := simtime.NewRealRuntime()
+	defer rt.Close()
+	w := world.New(cl, world.Config{Seed: *seed, StepSize: 250 * time.Millisecond}, rt.Now())
+	stopWorld := w.Attach(rt)
+	defer stopWorld()
+
+	monCfg := monitor.Config{
+		NodeStatePeriod: 5 * time.Second,
+		LatencyPeriod:   30 * time.Second,
+		BandwidthPeriod: time.Minute,
+	}
+	mgr := monitor.NewManager(&monitor.WorldProber{W: w}, st, monCfg)
+	if err := mgr.Start(rt); err != nil {
+		fatal(err)
+	}
+	defer mgr.Stop()
+
+	if *archive > 0 {
+		rec := replay.NewRecorder(st, *archive, 24*time.Hour)
+		if err := rec.Start(rt); err != nil {
+			fatal(err)
+		}
+		defer rec.Stop()
+	}
+
+	fmt.Printf("nlarm-monitor: monitoring %d nodes into %s\n", cl.Size(), *storeDir)
+	stopReport := rt.Every(*interval, "report", func(now time.Time) {
+		d, err := monitor.Diagnose(st, now, monCfg)
+		if err != nil {
+			fmt.Printf("[%s] diagnosis failed: %v\n", now.Format("15:04:05"), err)
+			return
+		}
+		fmt.Printf("[%s] %s", now.Format("15:04:05"), monitor.FormatDiagnosis(d))
+	})
+	defer stopReport()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("nlarm-monitor: shutting down")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nlarm-monitor:", err)
+	os.Exit(1)
+}

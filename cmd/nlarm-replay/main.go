@@ -1,0 +1,113 @@
+// nlarm-replay inspects a store directory with archived monitoring
+// snapshots (written by nlarm-monitor -archive) and re-runs allocation
+// decisions offline: list the archive, dump a snapshot summary, or ask
+// "what would policy X have chosen at time T?".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"nlarm/internal/alloc"
+	"nlarm/internal/metrics"
+	"nlarm/internal/replay"
+	"nlarm/internal/rng"
+	"nlarm/internal/store"
+)
+
+func main() {
+	var (
+		storeDir = flag.String("store", "nlarm-store", "store directory with archive/ snapshots")
+		list     = flag.Bool("list", false, "list archived snapshot timestamps and exit")
+		at       = flag.String("at", "", "replay instant (RFC3339; empty = newest snapshot)")
+		policy   = flag.String("policy", "net-load-aware", "policy to re-run (random, sequential, load-aware, net-load-aware)")
+		procs    = flag.Int("np", 0, "re-run an allocation for this many processes (0 = only summarize)")
+		ppn      = flag.Int("ppn", 4, "processes per node for the re-run")
+		alpha    = flag.Float64("alpha", 0.3, "compute-load weight")
+		beta     = flag.Float64("beta", 0.7, "network-load weight")
+		seed     = flag.Uint64("seed", 1, "random stream for stochastic policies")
+	)
+	flag.Parse()
+
+	st, err := store.NewFile(*storeDir)
+	if err != nil {
+		fatal(err)
+	}
+	times, err := replay.Timestamps(st)
+	if err != nil {
+		fatal(err)
+	}
+	if len(times) == 0 {
+		fatal(fmt.Errorf("no archived snapshots under %s/archive (run nlarm-monitor -archive <period>)", *storeDir))
+	}
+	if *list {
+		for _, t := range times {
+			fmt.Println(t.Format(time.RFC3339))
+		}
+		return
+	}
+
+	instant := times[len(times)-1]
+	if *at != "" {
+		parsed, err := time.Parse(time.RFC3339, *at)
+		if err != nil {
+			fatal(fmt.Errorf("bad -at: %w", err))
+		}
+		instant = parsed
+	}
+	snap, err := replay.LoadAt(st, instant)
+	if err != nil {
+		fatal(err)
+	}
+	summarize(snap)
+
+	if *procs > 0 {
+		pol, err := policyByName(*policy)
+		if err != nil {
+			fatal(err)
+		}
+		a, err := pol.Allocate(snap, alloc.Request{
+			Procs: *procs, PPN: *ppn, Alpha: *alpha, Beta: *beta,
+		}, rng.New(*seed))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\n%s would have chosen at %s:\n", pol.Name(), snap.Taken.Format(time.RFC3339))
+		for _, n := range a.Nodes {
+			fmt.Printf("  %s:%d\n", snap.Nodes[n].Hostname, a.Procs[n])
+		}
+	}
+}
+
+func policyByName(name string) (alloc.Policy, error) {
+	for _, p := range []alloc.Policy{alloc.Random{}, alloc.Sequential{}, alloc.LoadAware{}, alloc.NetLoadAware{}} {
+		if p.Name() == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown policy %q", name)
+}
+
+func summarize(snap *metrics.Snapshot) {
+	loadSum, cores := 0.0, 0
+	for _, id := range snap.Livehosts {
+		if na, ok := snap.Nodes[id]; ok {
+			loadSum += na.CPULoad.M1
+			cores += na.Cores
+		}
+	}
+	perCore := 0.0
+	if cores > 0 {
+		perCore = loadSum / float64(cores)
+	}
+	fmt.Printf("snapshot %s: %d livehosts, %d node records, %d latency pairs, %d bandwidth pairs, load %.2f/core\n",
+		snap.Taken.Format(time.RFC3339), len(snap.Livehosts), len(snap.Nodes),
+		len(snap.Latency), len(snap.Bandwidth), perCore)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nlarm-replay:", err)
+	os.Exit(1)
+}

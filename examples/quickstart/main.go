@@ -1,0 +1,47 @@
+// Quickstart: bring up the simulated shared cluster, let the resource
+// monitor gather data, ask the broker for nodes under the network-and-
+// load-aware policy, and run a miniMD job on the chosen nodes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nlarm"
+)
+
+func main() {
+	// A 60-node shared cluster (the paper's testbed shape) with background
+	// users, a full monitoring stack, and a broker — all simulated and
+	// deterministic under the given seed.
+	sess, err := nlarm.NewSimulation(nlarm.SimulationConfig{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+
+	// Give the monitor time to publish node state and network matrices.
+	sess.WarmUp()
+
+	// Ask for 32 processes, 4 per node, communication-heavy (β=0.7).
+	resp, err := sess.Allocate(nlarm.AllocRequest{
+		Procs: 32, PPN: 4, Alpha: 0.3, Beta: 0.7,
+		Policy: nlarm.PolicyNetLoadAware,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("recommendation:", resp.Recommendation)
+	fmt.Println("hostfile:")
+	for _, h := range resp.Hostfile {
+		fmt.Println(" ", h)
+	}
+
+	// Run miniMD (s=16 → 16K atoms) on the allocation and report.
+	result, err := sess.RunMiniMD(nlarm.MiniMDRun{S: 16, Steps: 100}, resp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("miniMD finished in %.2fs (%.0f%% of time in communication)\n",
+		result.Elapsed.Seconds(), result.CommFraction()*100)
+}

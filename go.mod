@@ -1,0 +1,3 @@
+module nlarm
+
+go 1.22

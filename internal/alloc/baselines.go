@@ -1,0 +1,91 @@
+package alloc
+
+import (
+	"fmt"
+	"sort"
+
+	"nlarm/internal/metrics"
+	"nlarm/internal/rng"
+)
+
+// Random allocation "randomly selects the required number of nodes from
+// active nodes" (§5).
+type Random struct{}
+
+// Name implements Policy.
+func (Random) Name() string { return "random" }
+
+// Allocate implements Policy.
+func (Random) Allocate(snap *metrics.Snapshot, req Request, r *rng.Rand) (Allocation, error) {
+	req, err := req.Validate()
+	if err != nil {
+		return Allocation{}, err
+	}
+	ids := MonitoredLivehosts(snap)
+	if len(ids) == 0 {
+		return Allocation{}, fmt.Errorf("alloc: random: no live monitored nodes")
+	}
+	order := append([]int(nil), ids...)
+	r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	nodes, procs := fill(order, capacity(snap, ids, req), req.Procs)
+	return Allocation{Policy: "random", Nodes: nodes, Procs: procs}, nil
+}
+
+// Sequential allocation "first selects a random node and adds neighboring
+// nodes (topologically) as required" (§5) — users picking consecutive
+// hostnames. Node IDs order the cluster by physical proximity, so
+// consecutive IDs are topological neighbours; the scan wraps around.
+type Sequential struct{}
+
+// Name implements Policy.
+func (Sequential) Name() string { return "sequential" }
+
+// Allocate implements Policy.
+func (Sequential) Allocate(snap *metrics.Snapshot, req Request, r *rng.Rand) (Allocation, error) {
+	req, err := req.Validate()
+	if err != nil {
+		return Allocation{}, err
+	}
+	ids := MonitoredLivehosts(snap)
+	if len(ids) == 0 {
+		return Allocation{}, fmt.Errorf("alloc: sequential: no live monitored nodes")
+	}
+	sort.Ints(ids)
+	start := r.Intn(len(ids))
+	order := make([]int, 0, len(ids))
+	for i := 0; i < len(ids); i++ {
+		order = append(order, ids[(start+i)%len(ids)])
+	}
+	nodes, procs := fill(order, capacity(snap, ids, req), req.Procs)
+	return Allocation{Policy: "sequential", Nodes: nodes, Procs: procs}, nil
+}
+
+// LoadAware allocation "selects the group of nodes with minimal load"
+// (§5): nodes sorted by compute load (Equation 1), network state ignored.
+type LoadAware struct{}
+
+// Name implements Policy.
+func (LoadAware) Name() string { return "load-aware" }
+
+// Allocate implements Policy.
+func (LoadAware) Allocate(snap *metrics.Snapshot, req Request, r *rng.Rand) (Allocation, error) {
+	req, err := req.Validate()
+	if err != nil {
+		return Allocation{}, err
+	}
+	ids := MonitoredLivehosts(snap)
+	if len(ids) == 0 {
+		return Allocation{}, fmt.Errorf("alloc: load-aware: no live monitored nodes")
+	}
+	cl, err := ComputeLoadsOpt(snap, ids, req.Weights, req.UseForecast)
+	if err != nil {
+		return Allocation{}, err
+	}
+	order := sortByCost(ids, cl)
+	nodes, procs := fill(order, capacity(snap, ids, req), req.Procs)
+	total := 0.0
+	for _, n := range nodes {
+		total += cl[n]
+	}
+	return Allocation{Policy: "load-aware", Nodes: nodes, Procs: procs, TotalLoad: total}, nil
+}

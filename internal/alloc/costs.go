@@ -1,0 +1,315 @@
+// Package alloc implements the paper's node-allocation policies: the
+// network-and-load-aware heuristic (Algorithms 1 and 2) and the three
+// baselines it is evaluated against (random, sequential, load-aware).
+//
+// All policies consume only the monitoring snapshot (metrics.Snapshot) —
+// never simulator ground truth — and are deterministic given a snapshot,
+// a request, and a random stream.
+package alloc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"nlarm/internal/metrics"
+	"nlarm/internal/stats"
+)
+
+// Weights are the relative attribute weights of Equation 1 (compute load)
+// and Equation 2 (network load). The compute-load weights should sum to 1,
+// as should Latency+Bandwidth.
+type Weights struct {
+	// Equation 1 attribute weights (Table 1).
+	CPULoad  float64 // minimize
+	CPUUtil  float64 // minimize
+	FlowRate float64 // minimize ("node bandwidth" in §5's weight list)
+	AvailMem float64 // maximize (the paper weights "used memory"; available
+	// memory with a maximize criterion is the same attribute)
+	Cores    float64 // maximize
+	Freq     float64 // maximize
+	TotalMem float64 // maximize
+	Users    float64 // minimize
+
+	// Equation 2 weights.
+	Latency   float64 // w_lt
+	Bandwidth float64 // w_bw
+}
+
+// PaperWeights returns the exact weight values of §5: 0.3 CPU load,
+// 0.2 CPU utilization, 0.2 node bandwidth (data-flow rate), 0.1 memory,
+// 0.1 logical core count, 0.05 CPU clock, 0.05 total memory, and
+// w_lt = 0.25, w_bw = 0.75.
+func PaperWeights() Weights {
+	return Weights{
+		CPULoad:   0.3,
+		CPUUtil:   0.2,
+		FlowRate:  0.2,
+		AvailMem:  0.1,
+		Cores:     0.1,
+		Freq:      0.05,
+		TotalMem:  0.05,
+		Users:     0,
+		Latency:   0.25,
+		Bandwidth: 0.75,
+	}
+}
+
+// windowAvg collapses the 1/5/15-minute running means into the single
+// attribute value used in the decision matrix (Table 1 lists the three
+// windows as one attribute; we use their mean so both short spikes and
+// sustained load register).
+func windowAvg(w stats.Windowed) float64 {
+	return (w.M1 + w.M5 + w.M15) / 3
+}
+
+// ComputeLoads evaluates Equation 1 for every node in ids using the SAW
+// method over the snapshot's published attributes. The result maps node ID
+// to CL_v; lower is better. Nodes missing from the snapshot are an error —
+// callers must pre-filter to monitored livehosts.
+func ComputeLoads(snap *metrics.Snapshot, ids []int, w Weights) (map[int]float64, error) {
+	return ComputeLoadsOpt(snap, ids, w, false)
+}
+
+// ComputeLoadsOpt is ComputeLoads with forecasting: when useForecast is
+// true and a node publishes NWS-style forecasts, the CPU-load and
+// data-flow-rate attributes are priced at their predicted next values
+// instead of the windowed means — ranking nodes by where their load is
+// *going* (§2's Network Weather Service idea applied to Equation 1).
+func ComputeLoadsOpt(snap *metrics.Snapshot, ids []int, w Weights, useForecast bool) (map[int]float64, error) {
+	if len(ids) == 0 {
+		return map[int]float64{}, nil
+	}
+	attrs := []stats.Attribute{
+		{Name: "cpu_load", Weight: w.CPULoad, Criterion: stats.Minimize},
+		{Name: "cpu_util", Weight: w.CPUUtil, Criterion: stats.Minimize},
+		{Name: "flow_rate", Weight: w.FlowRate, Criterion: stats.Minimize},
+		{Name: "avail_mem", Weight: w.AvailMem, Criterion: stats.Maximize},
+		{Name: "cores", Weight: w.Cores, Criterion: stats.Maximize},
+		{Name: "freq", Weight: w.Freq, Criterion: stats.Maximize},
+		{Name: "total_mem", Weight: w.TotalMem, Criterion: stats.Maximize},
+		{Name: "users", Weight: w.Users, Criterion: stats.Minimize},
+	}
+	matrix := make([][]float64, 0, len(ids))
+	for _, id := range ids {
+		na, ok := snap.Nodes[id]
+		if !ok {
+			return nil, fmt.Errorf("alloc: node %d has no published state", id)
+		}
+		cpuLoad := windowAvg(na.CPULoad)
+		flowRate := windowAvg(na.FlowRateBps)
+		if useForecast {
+			if na.CPULoadForecast != nil {
+				cpuLoad = na.CPULoadForecast.Value
+			}
+			if na.FlowRateForecast != nil {
+				flowRate = na.FlowRateForecast.Value
+			}
+		}
+		matrix = append(matrix, []float64{
+			cpuLoad,
+			windowAvg(na.CPUUtilPct),
+			flowRate,
+			windowAvg(na.AvailMemMB),
+			float64(na.Cores),
+			na.FreqGHz,
+			na.TotalMemMB,
+			float64(na.Users),
+		})
+	}
+	costs, err := stats.SAWCosts(attrs, matrix)
+	if err != nil {
+		return nil, fmt.Errorf("alloc: compute loads: %w", err)
+	}
+	out := make(map[int]float64, len(ids))
+	for i, id := range ids {
+		out[id] = costs[i]
+	}
+	return out, nil
+}
+
+// NetworkLoads evaluates Equation 2 for every unordered pair of ids:
+// NL(u,v) = w_lt·LT_norm + w_bw·(peak−avail)_norm, with each term
+// sum-normalized over all pairs, exactly mirroring the compute-load
+// normalization. Pairs with no measurement are priced at the worst
+// observed latency and complement-bandwidth (a never-measured link is
+// assumed bad, not free).
+func NetworkLoads(snap *metrics.Snapshot, ids []int, w Weights) (map[metrics.PairKey]float64, error) {
+	var pairs []metrics.PairKey
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			pairs = append(pairs, metrics.Pair(ids[i], ids[j]))
+		}
+	}
+	if len(pairs) == 0 {
+		return map[metrics.PairKey]float64{}, nil
+	}
+	// The "peak bandwidth" the paper complements against is the network's
+	// nominal peak — a single constant — so pairs are effectively ranked
+	// by available bandwidth. Using each pair's own bottleneck peak would
+	// make an idle low-capacity path (e.g. a WAN link between clusters)
+	// look as good as an idle local path. Take the best measured peak as
+	// the nominal value.
+	globalPeak := 0.0
+	for _, p := range pairs {
+		if _, peak, ok := snap.BandwidthOf(p.U, p.V); ok && peak > globalPeak {
+			globalPeak = peak
+		}
+	}
+	lat := make([]float64, len(pairs))
+	cbw := make([]float64, len(pairs)) // complement of available bandwidth
+	known := make([]bool, len(pairs))
+	worstLat, worstCbw := 0.0, 0.0
+	anyKnown := false
+	for i, p := range pairs {
+		l, okL := snap.LatencyOf(p.U, p.V)
+		avail, _, okB := snap.BandwidthOf(p.U, p.V)
+		if okL && okB {
+			lat[i] = l.Seconds()
+			c := globalPeak - avail
+			if c < 0 {
+				c = 0
+			}
+			cbw[i] = c
+			known[i] = true
+			anyKnown = true
+			if lat[i] > worstLat {
+				worstLat = lat[i]
+			}
+			if cbw[i] > worstCbw {
+				worstCbw = cbw[i]
+			}
+		}
+	}
+	if !anyKnown {
+		return nil, fmt.Errorf("alloc: no pairwise measurements available for %d nodes", len(ids))
+	}
+	for i := range pairs {
+		if !known[i] {
+			lat[i] = worstLat
+			cbw[i] = worstCbw
+		}
+	}
+	latN, err := stats.NormalizeSum(lat)
+	if err != nil {
+		return nil, fmt.Errorf("alloc: network loads: %w", err)
+	}
+	cbwN, err := stats.NormalizeSum(cbw)
+	if err != nil {
+		return nil, fmt.Errorf("alloc: network loads: %w", err)
+	}
+	out := make(map[metrics.PairKey]float64, len(pairs))
+	for i, p := range pairs {
+		out[p] = w.Latency*latN[i] + w.Bandwidth*cbwN[i]
+	}
+	return out, nil
+}
+
+// RescaleMeanNode rescales node costs to mean 1 in place. The paper
+// sum-normalizes compute load over |V| nodes and network load over
+// O(|V|²) pairs, which puts the two on incomparable scales (~1/V vs
+// ~2/V²) and would silently void the α/β balance of Algorithm 1's
+// addition cost. Rescaling both to unit mean is size-invariant and
+// preserves each metric's ordering, so the weighted combination behaves
+// as Equation 4 intends regardless of cluster size.
+func RescaleMeanNode(costs map[int]float64) {
+	if len(costs) == 0 {
+		return
+	}
+	// Sum in sorted key order: float addition is order-sensitive, and map
+	// iteration order would make equal inputs produce subtly different
+	// scales across runs, breaking reproducibility.
+	keys := make([]int, 0, len(costs))
+	for k := range costs {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	sum := 0.0
+	for _, k := range keys {
+		sum += costs[k]
+	}
+	mean := sum / float64(len(costs))
+	if mean == 0 {
+		return
+	}
+	for _, k := range keys {
+		costs[k] /= mean
+	}
+}
+
+// RescaleMeanPair rescales pair costs to mean 1 in place (see
+// RescaleMeanNode).
+func RescaleMeanPair(costs map[metrics.PairKey]float64) {
+	if len(costs) == 0 {
+		return
+	}
+	keys := make([]metrics.PairKey, 0, len(costs))
+	for k := range costs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].U != keys[j].U {
+			return keys[i].U < keys[j].U
+		}
+		return keys[i].V < keys[j].V
+	})
+	sum := 0.0
+	for _, k := range keys {
+		sum += costs[k]
+	}
+	mean := sum / float64(len(costs))
+	if mean == 0 {
+		return
+	}
+	for _, k := range keys {
+		costs[k] /= mean
+	}
+}
+
+// EffectiveProcs evaluates Equation 3 verbatim:
+//
+//	pc_v = coreCount_v − ⌈Load_v⌉ % coreCount_v
+//
+// where Load_v is the node's 1-minute average CPU load. The modulo makes
+// the formula wrap for loads exceeding the core count — we keep the
+// paper's exact arithmetic (it conveniently never yields less than one
+// slot). When ppn > 0 the user's processes-per-node override wins.
+func EffectiveProcs(na metrics.NodeAttrs, ppn int) int {
+	if ppn > 0 {
+		return ppn
+	}
+	load := int(math.Ceil(na.CPULoad.M1))
+	if load < 0 {
+		load = 0
+	}
+	return na.Cores - load%na.Cores
+}
+
+// MonitoredLivehosts returns the snapshot's live nodes that also have
+// published node state, sorted by ID — the universe every policy draws
+// from.
+func MonitoredLivehosts(snap *metrics.Snapshot) []int {
+	var ids []int
+	for _, id := range snap.Livehosts {
+		if _, ok := snap.Nodes[id]; ok {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// StaleAfter reports whether the snapshot's node data is older than
+// maxAge relative to the snapshot time (diagnostic guard for callers that
+// want to refuse to allocate from a dead monitor).
+func StaleAfter(snap *metrics.Snapshot, maxAge time.Duration) bool {
+	for _, id := range snap.Livehosts {
+		if na, ok := snap.Nodes[id]; ok {
+			if snap.Taken.Sub(na.Timestamp) <= maxAge {
+				return false
+			}
+		}
+	}
+	return true
+}

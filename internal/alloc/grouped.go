@@ -1,0 +1,215 @@
+package alloc
+
+import (
+	"fmt"
+	"sort"
+
+	"nlarm/internal/metrics"
+	"nlarm/internal/rng"
+)
+
+// GroupedNetLoadAware is the paper's scaling adaptation (§3.3.2: "our
+// solution may need to be adapted for larger scale by grouping the nodes
+// based on cluster topology and calculating inter-group bandwidth/latency
+// so that P2P bandwidth/latency calculation requires less amount of
+// communication") and the seed of its multi-cluster future work (§6).
+//
+// Nodes are partitioned into groups (typically by switch, or by cluster
+// in a multi-cluster deployment). Candidate generation runs over groups
+// using aggregated group compute loads and inter-group network loads —
+// O(G² log G) instead of O(V² log V) — and the selected groups are then
+// filled with their least-loaded nodes.
+type GroupedNetLoadAware struct {
+	// GroupOf maps a node ID to its group ID. Required. Typically
+	// topology.SwitchOf or a cluster index.
+	GroupOf func(node int) int
+}
+
+// Name implements Policy.
+func (GroupedNetLoadAware) Name() string { return "grouped-net-load-aware" }
+
+// groupInfo aggregates a group's members and costs.
+type groupInfo struct {
+	id       int
+	members  []int // sorted by compute load ascending
+	capacity int
+	// meanCL is the group's mean per-node compute load.
+	meanCL float64
+	// intraNL is the mean network load between the group's own pairs.
+	intraNL float64
+}
+
+// Allocate implements Policy.
+func (p GroupedNetLoadAware) Allocate(snap *metrics.Snapshot, req Request, r *rng.Rand) (Allocation, error) {
+	if p.GroupOf == nil {
+		return Allocation{}, fmt.Errorf("alloc: grouped: GroupOf is required")
+	}
+	req, err := req.Validate()
+	if err != nil {
+		return Allocation{}, err
+	}
+	ids := MonitoredLivehosts(snap)
+	if len(ids) == 0 {
+		return Allocation{}, fmt.Errorf("alloc: grouped: no live monitored nodes")
+	}
+	cl, err := ComputeLoadsOpt(snap, ids, req.Weights, req.UseForecast)
+	if err != nil {
+		return Allocation{}, err
+	}
+	nl, err := NetworkLoads(snap, ids, req.Weights)
+	if err != nil {
+		return Allocation{}, err
+	}
+	RescaleMeanNode(cl)
+	RescaleMeanPair(nl)
+	caps := capacity(snap, ids, req)
+
+	// Partition into groups.
+	byGroup := make(map[int]*groupInfo)
+	var groupIDs []int
+	for _, id := range ids {
+		g := p.GroupOf(id)
+		gi, ok := byGroup[g]
+		if !ok {
+			gi = &groupInfo{id: g}
+			byGroup[g] = gi
+			groupIDs = append(groupIDs, g)
+		}
+		gi.members = append(gi.members, id)
+		gi.capacity += caps[id]
+	}
+	sort.Ints(groupIDs)
+	for _, g := range groupIDs {
+		gi := byGroup[g]
+		sort.Slice(gi.members, func(i, j int) bool {
+			ci, cj := cl[gi.members[i]], cl[gi.members[j]]
+			if ci != cj {
+				return ci < cj
+			}
+			return gi.members[i] < gi.members[j]
+		})
+		sum := 0.0
+		for _, m := range gi.members {
+			sum += cl[m]
+		}
+		gi.meanCL = sum / float64(len(gi.members))
+		gi.intraNL = meanPairNL(nl, gi.members, gi.members, true)
+	}
+
+	// Inter-group network loads: the mean NL over cross pairs — the
+	// paper's "inter-group bandwidth/latency".
+	interNL := make(map[metrics.PairKey]float64)
+	for i := 0; i < len(groupIDs); i++ {
+		for j := i + 1; j < len(groupIDs); j++ {
+			a, b := byGroup[groupIDs[i]], byGroup[groupIDs[j]]
+			interNL[metrics.Pair(groupIDs[i], groupIDs[j])] = meanPairNL(nl, a.members, b.members, false)
+		}
+	}
+
+	// Candidate generation over groups (Algorithm 1 at group granularity).
+	type groupCandidate struct {
+		start  int
+		groups []int
+		total  float64
+	}
+	var best *groupCandidate
+	var bestAlloc Allocation
+	for _, start := range groupIDs {
+		addCost := make(map[int]float64, len(groupIDs))
+		for _, g := range groupIDs {
+			if g == start {
+				addCost[g] = 0
+				continue
+			}
+			addCost[g] = req.Alpha*byGroup[g].meanCL + req.Beta*interNL[metrics.Pair(start, g)]
+		}
+		order := sortByCost(groupIDs, addCost)
+		var chosen []int
+		capacitySum := 0
+		for _, g := range order {
+			chosen = append(chosen, g)
+			capacitySum += byGroup[g].capacity
+			if capacitySum >= req.Procs {
+				break
+			}
+		}
+		// Score the candidate: α·(mean member CL) + β·(mean of intra- and
+		// inter-group NL across the chosen groups).
+		clSum, nodes := 0.0, 0
+		netSum, netTerms := 0.0, 0
+		for i, g := range chosen {
+			gi := byGroup[g]
+			clSum += gi.meanCL * float64(len(gi.members))
+			nodes += len(gi.members)
+			netSum += gi.intraNL
+			netTerms++
+			for j := i + 1; j < len(chosen); j++ {
+				netSum += interNL[metrics.Pair(g, chosen[j])]
+				netTerms++
+			}
+		}
+		total := req.Alpha*clSum/float64(nodes) + req.Beta*netSum/float64(netTerms)
+		if best == nil || total < best.total {
+			cand := groupCandidate{start: start, groups: chosen, total: total}
+			a, ok := p.fillGroups(chosen, byGroup, caps, req.Procs)
+			if !ok {
+				continue
+			}
+			best = &cand
+			bestAlloc = a
+		}
+	}
+	if best == nil {
+		return Allocation{}, fmt.Errorf("alloc: grouped: no feasible candidate")
+	}
+	bestAlloc.Policy = p.Name()
+	bestAlloc.TotalLoad = best.total
+	return bestAlloc, nil
+}
+
+// fillGroups takes the chosen groups in order and assigns processes to
+// their least-loaded nodes first, spilling round-robin if capacity runs
+// short.
+func (p GroupedNetLoadAware) fillGroups(groups []int, byGroup map[int]*groupInfo, caps map[int]int, procs int) (Allocation, bool) {
+	var order []int
+	for _, g := range groups {
+		order = append(order, byGroup[g].members...)
+	}
+	nodes, assigned := fill(order, caps, procs)
+	if len(nodes) == 0 {
+		return Allocation{}, false
+	}
+	total := 0
+	for _, v := range assigned {
+		total += v
+	}
+	if total < procs {
+		return Allocation{}, false
+	}
+	return Allocation{Nodes: nodes, Procs: assigned}, true
+}
+
+// meanPairNL averages NL over pairs drawn from a×b; when same is true a
+// and b are the same set and only distinct unordered pairs count.
+func meanPairNL(nl map[metrics.PairKey]float64, a, b []int, same bool) float64 {
+	sum, n := 0.0, 0
+	if same {
+		for i := 0; i < len(a); i++ {
+			for j := i + 1; j < len(a); j++ {
+				sum += nl[metrics.Pair(a[i], a[j])]
+				n++
+			}
+		}
+	} else {
+		for _, x := range a {
+			for _, y := range b {
+				sum += nl[metrics.Pair(x, y)]
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

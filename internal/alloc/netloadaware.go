@@ -1,0 +1,140 @@
+package alloc
+
+import (
+	"fmt"
+	"math"
+
+	"nlarm/internal/metrics"
+	"nlarm/internal/rng"
+)
+
+// NetLoadAware is the paper's contribution: the network and load-aware
+// allocation heuristic. For every live node v it greedily grows a
+// candidate sub-graph seeded at v by repeatedly adding the node u with
+// the smallest addition cost A_v(u) = α·CL(u) + β·NL(v,u) until the
+// requested process count is covered (Algorithm 1), then selects the
+// candidate with the minimum total cost T_G = α·C_G,norm + β·N_G,norm
+// (Algorithm 2, Equation 4).
+type NetLoadAware struct{}
+
+// Name implements Policy.
+func (NetLoadAware) Name() string { return "net-load-aware" }
+
+// Candidate is one generated sub-graph with its raw total costs, exposed
+// for analysis and tests.
+type Candidate struct {
+	// Start is the seed node (v in Algorithm 1).
+	Start int
+	// Nodes are the selected nodes in addition order.
+	Nodes []int
+	// Procs maps node ID to assigned process count.
+	Procs map[int]int
+	// ComputeCost is C_G = Σ CL_u over the sub-graph's nodes.
+	ComputeCost float64
+	// NetworkCost is N_G = Σ NL(x,y) over all node pairs of the sub-graph.
+	NetworkCost float64
+	// TotalLoad is T_G after cross-candidate normalization.
+	TotalLoad float64
+}
+
+// Allocate implements Policy.
+func (p NetLoadAware) Allocate(snap *metrics.Snapshot, req Request, r *rng.Rand) (Allocation, error) {
+	best, _, err := p.AllocateExplain(snap, req)
+	if err != nil {
+		return Allocation{}, err
+	}
+	return Allocation{
+		Policy:    p.Name(),
+		Nodes:     best.Nodes,
+		Procs:     best.Procs,
+		TotalLoad: best.TotalLoad,
+	}, nil
+}
+
+// AllocateExplain runs the full heuristic and additionally returns every
+// candidate sub-graph with its costs (used by the analysis experiment of
+// Figure 7 and by tests).
+func (p NetLoadAware) AllocateExplain(snap *metrics.Snapshot, req Request) (Candidate, []Candidate, error) {
+	req, err := req.Validate()
+	if err != nil {
+		return Candidate{}, nil, err
+	}
+	ids := MonitoredLivehosts(snap)
+	if len(ids) == 0 {
+		return Candidate{}, nil, fmt.Errorf("alloc: net-load-aware: no live monitored nodes")
+	}
+	cl, err := ComputeLoadsOpt(snap, ids, req.Weights, req.UseForecast)
+	if err != nil {
+		return Candidate{}, nil, err
+	}
+	nl, err := NetworkLoads(snap, ids, req.Weights)
+	if err != nil {
+		return Candidate{}, nil, err
+	}
+	// Bring CL and NL onto a common scale so α/β weight them as intended
+	// (see RescaleMeanNode).
+	RescaleMeanNode(cl)
+	RescaleMeanPair(nl)
+	caps := capacity(snap, ids, req)
+
+	// Algorithm 1, once per start node: |V| candidates.
+	candidates := make([]Candidate, 0, len(ids))
+	for _, v := range ids {
+		cand := p.generate(v, ids, cl, nl, caps, req)
+		candidates = append(candidates, cand)
+	}
+
+	// Algorithm 2: normalize C_G and N_G across candidates, pick min T_G.
+	sumC, sumN := 0.0, 0.0
+	for _, c := range candidates {
+		sumC += c.ComputeCost
+		sumN += c.NetworkCost
+	}
+	bestIdx := -1
+	minTotal := math.Inf(1)
+	for i := range candidates {
+		c := &candidates[i]
+		cNorm, nNorm := 0.0, 0.0
+		if sumC > 0 {
+			cNorm = c.ComputeCost / sumC
+		}
+		if sumN > 0 {
+			nNorm = c.NetworkCost / sumN
+		}
+		c.TotalLoad = req.Alpha*cNorm + req.Beta*nNorm
+		if c.TotalLoad < minTotal {
+			minTotal = c.TotalLoad
+			bestIdx = i
+		}
+	}
+	if bestIdx < 0 {
+		return Candidate{}, nil, fmt.Errorf("alloc: net-load-aware: no candidate produced")
+	}
+	return candidates[bestIdx], candidates, nil
+}
+
+// generate builds the candidate sub-graph seeded at v (Algorithm 1).
+func (p NetLoadAware) generate(v int, ids []int, cl map[int]float64, nl map[metrics.PairKey]float64, caps map[int]int, req Request) Candidate {
+	// A_v(v) = 0; A_v(u) = α·CL(u) + β·NL(v,u) for u ≠ v.
+	addCost := make(map[int]float64, len(ids))
+	for _, u := range ids {
+		if u == v {
+			addCost[u] = 0
+			continue
+		}
+		addCost[u] = req.Alpha*cl[u] + req.Beta*nl[metrics.Pair(v, u)]
+	}
+	order := sortByCost(ids, addCost) // v sorts first with cost 0
+	nodes, procs := fill(order, caps, req.Procs)
+
+	cand := Candidate{Start: v, Nodes: nodes, Procs: procs}
+	for _, n := range nodes {
+		cand.ComputeCost += cl[n]
+	}
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			cand.NetworkCost += nl[metrics.Pair(nodes[i], nodes[j])]
+		}
+	}
+	return cand
+}

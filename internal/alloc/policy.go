@@ -1,0 +1,165 @@
+package alloc
+
+import (
+	"fmt"
+	"sort"
+
+	"nlarm/internal/metrics"
+	"nlarm/internal/rng"
+)
+
+// Request is a user's resource request: n processes, an optional
+// processes-per-node override, the compute/communication balance (α, β of
+// Equation 4, α+β=1), and the attribute weights.
+type Request struct {
+	// Procs is the total number of MPI processes (n).
+	Procs int
+	// PPN, when > 0, fixes the processes placed on every selected node,
+	// overriding the effective-processor-count estimate (Equation 3).
+	PPN int
+	// Alpha weights compute load; set high for compute-bound jobs.
+	Alpha float64
+	// Beta weights network load; set high for communication-bound jobs.
+	Beta float64
+	// Weights are the attribute weights; zero value means PaperWeights.
+	Weights Weights
+	// UseForecast prices CPU load and data-flow rate at their NWS-style
+	// forecast values instead of the windowed means, when the monitor has
+	// published forecasts.
+	UseForecast bool
+}
+
+// Validate checks the request and fills defaulted fields, returning the
+// effective request.
+func (r Request) Validate() (Request, error) {
+	if r.Procs <= 0 {
+		return r, fmt.Errorf("alloc: request for %d processes", r.Procs)
+	}
+	if r.PPN < 0 {
+		return r, fmt.Errorf("alloc: negative ppn %d", r.PPN)
+	}
+	if r.Alpha == 0 && r.Beta == 0 {
+		r.Alpha, r.Beta = 0.5, 0.5
+	}
+	if r.Alpha < 0 || r.Beta < 0 {
+		return r, fmt.Errorf("alloc: negative α/β (%g, %g)", r.Alpha, r.Beta)
+	}
+	if sum := r.Alpha + r.Beta; sum < 0.999 || sum > 1.001 {
+		return r, fmt.Errorf("alloc: α+β must be 1, got %g", sum)
+	}
+	if r.Weights == (Weights{}) {
+		r.Weights = PaperWeights()
+	}
+	return r, nil
+}
+
+// Allocation is a policy's answer: the selected nodes and the process
+// count assigned to each.
+type Allocation struct {
+	// Policy is the name of the policy that produced the allocation.
+	Policy string
+	// Nodes are the selected nodes in assignment order.
+	Nodes []int
+	// Procs maps node ID to the number of processes placed there.
+	Procs map[int]int
+	// TotalLoad is the policy's internal cost of the chosen group
+	// (comparable only within one policy's candidates; diagnostic).
+	TotalLoad float64
+}
+
+// TotalProcs returns the number of processes assigned.
+func (a Allocation) TotalProcs() int {
+	total := 0
+	for _, p := range a.Procs {
+		total += p
+	}
+	return total
+}
+
+// RankNodes expands the allocation into a per-rank node list (block
+// assignment in node order), ready for mpisim.Placement.
+func (a Allocation) RankNodes() []int {
+	var out []int
+	for _, n := range a.Nodes {
+		for i := 0; i < a.Procs[n]; i++ {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Policy selects a group of nodes for a request using only monitoring
+// data. Implementations must not mutate the snapshot. The random stream
+// carries all policy randomness so experiments are reproducible.
+type Policy interface {
+	Name() string
+	Allocate(snap *metrics.Snapshot, req Request, r *rng.Rand) (Allocation, error)
+}
+
+// capacity returns each node's process capacity under the request.
+func capacity(snap *metrics.Snapshot, ids []int, req Request) map[int]int {
+	caps := make(map[int]int, len(ids))
+	for _, id := range ids {
+		caps[id] = EffectiveProcs(snap.Nodes[id], req.PPN)
+	}
+	return caps
+}
+
+// fill assigns req.Procs processes over the ordered node list, each node
+// taking up to its capacity; if capacity runs out the remainder is
+// distributed round-robin over the selected nodes (lines 12-13 of
+// Algorithm 1 generalized to every policy so all policies satisfy every
+// request). It returns the allocation's node order and process map.
+func fill(order []int, caps map[int]int, procs int) ([]int, map[int]int) {
+	assigned := make(map[int]int)
+	var used []int
+	remaining := procs
+	for _, n := range order {
+		if remaining <= 0 {
+			break
+		}
+		take := caps[n]
+		if take > remaining {
+			take = remaining
+		}
+		if take <= 0 {
+			continue
+		}
+		assigned[n] = take
+		used = append(used, n)
+		remaining -= take
+	}
+	for remaining > 0 && len(used) > 0 {
+		for _, n := range used {
+			if remaining == 0 {
+				break
+			}
+			assigned[n]++
+			remaining--
+		}
+	}
+	return used, assigned
+}
+
+// sortByCost orders ids ascending by cost, breaking ties by node ID for
+// determinism.
+func sortByCost(ids []int, cost map[int]float64) []int {
+	out := append([]int(nil), ids...)
+	sort.Slice(out, func(i, j int) bool {
+		ci, cj := cost[out[i]], cost[out[j]]
+		if ci != cj {
+			return ci < cj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Compile-time checks that every shipped policy satisfies Policy.
+var (
+	_ Policy = Random{}
+	_ Policy = Sequential{}
+	_ Policy = LoadAware{}
+	_ Policy = NetLoadAware{}
+	_ Policy = GroupedNetLoadAware{}
+)

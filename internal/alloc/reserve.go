@@ -1,0 +1,117 @@
+package alloc
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"nlarm/internal/metrics"
+	"nlarm/internal/rng"
+)
+
+// ReservingPolicy wraps another policy with short-lived reservations:
+// every allocation it grants is virtually charged onto subsequent
+// snapshots (as busy-waiting ranks on the granted nodes) until the
+// monitor's own running means catch up. This closes the herding gap the
+// co-scheduling experiment exposes in the paper's heuristic — back-to-
+// back submissions all greedily pick the same best region because the
+// 1-minute load means lag just-launched jobs.
+type ReservingPolicy struct {
+	// Inner is the wrapped policy. Required.
+	Inner Policy
+	// TTL is how long a reservation keeps being charged (it should cover
+	// the monitor's sampling lag; default 90s).
+	TTL time.Duration
+
+	mu           sync.Mutex
+	reservations []reservation
+}
+
+type reservation struct {
+	procs map[int]int
+	at    time.Time
+}
+
+// NewReservingPolicy wraps inner with reservation charging.
+func NewReservingPolicy(inner Policy, ttl time.Duration) *ReservingPolicy {
+	if ttl <= 0 {
+		ttl = 90 * time.Second
+	}
+	return &ReservingPolicy{Inner: inner, TTL: ttl}
+}
+
+// Name implements Policy.
+func (p *ReservingPolicy) Name() string { return p.Inner.Name() + "+reserve" }
+
+// Allocate implements Policy: expired reservations are pruned against the
+// snapshot's own clock (virtual-time safe), live ones are charged onto a
+// copy of the snapshot, the inner policy decides, and the new grant is
+// recorded.
+func (p *ReservingPolicy) Allocate(snap *metrics.Snapshot, req Request, r *rng.Rand) (Allocation, error) {
+	if p.Inner == nil {
+		return Allocation{}, fmt.Errorf("alloc: reserving policy without inner policy")
+	}
+	p.mu.Lock()
+	live := p.reservations[:0]
+	for _, res := range p.reservations {
+		if snap.Taken.Sub(res.at) < p.TTL {
+			live = append(live, res)
+		}
+	}
+	p.reservations = live
+	charged := snap
+	if len(live) > 0 {
+		charged = snap.Clone()
+		for _, res := range live {
+			for node, ranks := range res.procs {
+				na, ok := charged.Nodes[node]
+				if !ok {
+					continue
+				}
+				// MPI ranks busy-wait: each reserved rank is a runnable
+				// process on every load window.
+				na.CPULoad.M1 += float64(ranks)
+				na.CPULoad.M5 += float64(ranks)
+				na.CPULoad.M15 += float64(ranks)
+				occ := float64(ranks) / float64(na.Cores) * 100
+				if na.CPUUtilPct.M1+occ > 100 {
+					occ = 100 - na.CPUUtilPct.M1
+				}
+				if occ > 0 {
+					na.CPUUtilPct.M1 += occ
+					na.CPUUtilPct.M5 += occ
+					na.CPUUtilPct.M15 += occ
+				}
+				charged.Nodes[node] = na
+			}
+		}
+	}
+	p.mu.Unlock()
+
+	a, err := p.Inner.Allocate(charged, req, r)
+	if err != nil {
+		return Allocation{}, err
+	}
+	procs := make(map[int]int, len(a.Procs))
+	for n, c := range a.Procs {
+		procs[n] = c
+	}
+	p.mu.Lock()
+	p.reservations = append(p.reservations, reservation{procs: procs, at: snap.Taken})
+	p.mu.Unlock()
+	a.Policy = p.Name()
+	return a, nil
+}
+
+// Outstanding returns the number of live reservations as of t.
+func (p *ReservingPolicy) Outstanding(t time.Time) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, res := range p.reservations {
+		if t.Sub(res.at) < p.TTL {
+			n++
+		}
+	}
+	return n
+}

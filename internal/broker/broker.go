@@ -1,0 +1,264 @@
+// Package broker ties the resource monitor and the node allocator into
+// the user-facing service of Figure 3: a user submits a request (process
+// count, optional ppn, α/β, policy), the broker assembles the current
+// monitoring snapshot, runs the allocation policy, and returns the chosen
+// node set as an MPI hostfile.
+//
+// The broker also implements the paper's future-work recommendation
+// (§6): when the whole cluster is heavily loaded there is no good set of
+// nodes, and the broker advises the user to wait instead of allocating.
+package broker
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"nlarm/internal/alloc"
+	"nlarm/internal/metrics"
+	"nlarm/internal/monitor"
+	"nlarm/internal/rng"
+	"nlarm/internal/simtime"
+	"nlarm/internal/store"
+)
+
+// Recommendation is the broker's verdict on a request.
+type Recommendation string
+
+const (
+	// RecommendAllocate means the returned allocation is good to use.
+	RecommendAllocate Recommendation = "allocate"
+	// RecommendWait means the cluster is too loaded for a useful
+	// allocation; the job should be submitted later.
+	RecommendWait Recommendation = "wait"
+)
+
+// Request is a broker allocation request.
+type Request struct {
+	// Procs is the total number of MPI processes.
+	Procs int `json:"procs"`
+	// PPN optionally fixes processes per node.
+	PPN int `json:"ppn,omitempty"`
+	// Alpha/Beta balance compute vs network cost (Equation 4); both zero
+	// means 0.5/0.5.
+	Alpha float64 `json:"alpha,omitempty"`
+	Beta  float64 `json:"beta,omitempty"`
+	// Policy selects the allocation policy by name; empty means
+	// "net-load-aware".
+	Policy string `json:"policy,omitempty"`
+	// Force requests an allocation even when the broker would recommend
+	// waiting.
+	Force bool `json:"force,omitempty"`
+	// UseForecast prices nodes by their NWS-style forecasts instead of the
+	// windowed means.
+	UseForecast bool `json:"use_forecast,omitempty"`
+	// Explain additionally returns every candidate sub-graph the heuristic
+	// considered (net-load-aware only) — the machine-readable version of
+	// the paper's Figure 7 analysis.
+	Explain bool `json:"explain,omitempty"`
+}
+
+// CandidateInfo is one candidate sub-graph from Algorithm 1, with its
+// Equation-4 total load.
+type CandidateInfo struct {
+	Start     int     `json:"start"`
+	Nodes     []int   `json:"nodes"`
+	TotalLoad float64 `json:"total_load"`
+	Chosen    bool    `json:"chosen"`
+}
+
+// Response is the broker's answer.
+type Response struct {
+	Recommendation Recommendation   `json:"recommendation"`
+	Policy         string           `json:"policy"`
+	Nodes          []int            `json:"nodes"`
+	Procs          map[int]int      `json:"procs"`
+	Hostfile       []string         `json:"hostfile"`
+	SnapshotAge    time.Duration    `json:"snapshot_age"`
+	ClusterLoad    float64          `json:"cluster_load_per_core"`
+	Allocation     alloc.Allocation `json:"-"`
+	// Candidates holds Algorithm 1's full candidate set when the request
+	// asked for an explanation (net-load-aware policy only).
+	Candidates []CandidateInfo `json:"candidates,omitempty"`
+}
+
+// Config tunes the broker.
+type Config struct {
+	// WaitLoadPerCore is the cluster-wide average CPU load per logical
+	// core above which the broker recommends waiting. Default 0.9.
+	WaitLoadPerCore float64
+	// SnapshotMaxAge is how stale node data may be before the broker
+	// refuses to allocate. Default 2 minutes.
+	SnapshotMaxAge time.Duration
+	// Seed drives policy randomness.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.WaitLoadPerCore == 0 {
+		c.WaitLoadPerCore = 0.9
+	}
+	if c.SnapshotMaxAge == 0 {
+		c.SnapshotMaxAge = 2 * time.Minute
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Broker serves allocation requests from monitoring data in a shared
+// store. It is safe for concurrent use.
+type Broker struct {
+	cfg      Config
+	st       store.Store
+	rt       simtime.Runtime
+	mu       sync.Mutex
+	rnd      *rng.Rand
+	policies map[string]alloc.Policy
+}
+
+// New builds a broker reading monitoring data from st, with the standard
+// policy set registered (random, sequential, load-aware, net-load-aware).
+func New(st store.Store, rt simtime.Runtime, cfg Config) *Broker {
+	cfg = cfg.withDefaults()
+	b := &Broker{
+		cfg:      cfg,
+		st:       st,
+		rt:       rt,
+		rnd:      rng.New(cfg.Seed),
+		policies: make(map[string]alloc.Policy),
+	}
+	for _, p := range []alloc.Policy{alloc.Random{}, alloc.Sequential{}, alloc.LoadAware{}, alloc.NetLoadAware{}} {
+		b.policies[p.Name()] = p
+	}
+	return b
+}
+
+// RegisterPolicy adds or replaces a policy under its name.
+func (b *Broker) RegisterPolicy(p alloc.Policy) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.policies[p.Name()] = p
+}
+
+// Policies returns the registered policy names, sorted.
+func (b *Broker) Policies() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	names := make([]string, 0, len(b.policies))
+	for n := range b.policies {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot returns the current consolidated monitoring view.
+func (b *Broker) Snapshot() (*metrics.Snapshot, error) {
+	return monitor.ReadSnapshot(b.st, b.rt.Now())
+}
+
+// clusterLoadPerCore computes the live cluster's average CPU load per
+// logical core — the "overall load" of the paper's wait heuristic.
+func clusterLoadPerCore(snap *metrics.Snapshot) float64 {
+	totalLoad, totalCores := 0.0, 0.0
+	for _, id := range snap.Livehosts {
+		na, ok := snap.Nodes[id]
+		if !ok {
+			continue
+		}
+		totalLoad += na.CPULoad.M1
+		totalCores += float64(na.Cores)
+	}
+	if totalCores == 0 {
+		return 0
+	}
+	return totalLoad / totalCores
+}
+
+// Allocate serves one request.
+func (b *Broker) Allocate(req Request) (Response, error) {
+	if req.Policy == "" {
+		req.Policy = alloc.NetLoadAware{}.Name()
+	}
+	b.mu.Lock()
+	pol, ok := b.policies[req.Policy]
+	var r *rng.Rand
+	if ok {
+		r = b.rnd.Split()
+	}
+	b.mu.Unlock()
+	if !ok {
+		return Response{}, fmt.Errorf("broker: unknown policy %q", req.Policy)
+	}
+
+	snap, err := b.Snapshot()
+	if err != nil {
+		return Response{}, fmt.Errorf("broker: no monitoring data: %w", err)
+	}
+	if alloc.StaleAfter(snap, b.cfg.SnapshotMaxAge) {
+		return Response{}, fmt.Errorf("broker: monitoring data older than %v; is the monitor running?", b.cfg.SnapshotMaxAge)
+	}
+
+	loadPerCore := clusterLoadPerCore(snap)
+	resp := Response{Policy: pol.Name(), ClusterLoad: loadPerCore}
+	if oldest := oldestNodeAge(snap); oldest >= 0 {
+		resp.SnapshotAge = oldest
+	}
+	if loadPerCore > b.cfg.WaitLoadPerCore && !req.Force {
+		resp.Recommendation = RecommendWait
+		return resp, nil
+	}
+
+	allocReq := alloc.Request{
+		Procs: req.Procs, PPN: req.PPN, Alpha: req.Alpha, Beta: req.Beta,
+		UseForecast: req.UseForecast,
+	}
+	var a alloc.Allocation
+	if nla, ok := pol.(alloc.NetLoadAware); ok && req.Explain {
+		best, cands, err := nla.AllocateExplain(snap, allocReq)
+		if err != nil {
+			return Response{}, err
+		}
+		a = alloc.Allocation{Policy: nla.Name(), Nodes: best.Nodes, Procs: best.Procs, TotalLoad: best.TotalLoad}
+		for _, c := range cands {
+			resp.Candidates = append(resp.Candidates, CandidateInfo{
+				Start:     c.Start,
+				Nodes:     c.Nodes,
+				TotalLoad: c.TotalLoad,
+				Chosen:    c.Start == best.Start,
+			})
+		}
+	} else {
+		var err error
+		a, err = pol.Allocate(snap, allocReq, r)
+		if err != nil {
+			return Response{}, err
+		}
+	}
+	resp.Recommendation = RecommendAllocate
+	resp.Nodes = a.Nodes
+	resp.Procs = a.Procs
+	resp.Allocation = a
+	for _, n := range a.Nodes {
+		resp.Hostfile = append(resp.Hostfile, fmt.Sprintf("%s:%d", snap.Nodes[n].Hostname, a.Procs[n]))
+	}
+	return resp, nil
+}
+
+// oldestNodeAge returns the age of the freshest node record (how stale
+// the best data is), or -1 when there are no records.
+func oldestNodeAge(snap *metrics.Snapshot) time.Duration {
+	best := time.Duration(-1)
+	for _, id := range snap.Livehosts {
+		if na, ok := snap.Nodes[id]; ok {
+			age := snap.Taken.Sub(na.Timestamp)
+			if best < 0 || age < best {
+				best = age
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,56 @@
+package broker
+
+import "time"
+
+// SubmitRequest asks the resource manager to queue and run a job (rather
+// than only returning a hostfile). App selects the built-in workload
+// model; real deployments would carry an mpiexec command line instead.
+type SubmitRequest struct {
+	// Name labels the job.
+	Name string `json:"name"`
+	// App is "minimd" or "minife".
+	App string `json:"app"`
+	// Size is miniMD's s or miniFE's nx.
+	Size int `json:"size"`
+	// Iterations overrides the app's default iteration count.
+	Iterations int `json:"iterations,omitempty"`
+	// Request is the allocation request made when the job is launched.
+	Request Request `json:"request"`
+}
+
+// JobInfo is the externally visible state of a submitted job.
+type JobInfo struct {
+	ID          int           `json:"id"`
+	Name        string        `json:"name"`
+	State       string        `json:"state"`
+	Attempts    int           `json:"attempts"`
+	WaitAnswers int           `json:"wait_answers"`
+	Nodes       []int         `json:"nodes,omitempty"`
+	Hostfile    []string      `json:"hostfile,omitempty"`
+	Elapsed     time.Duration `json:"elapsed,omitempty"`
+	// PredictedElapsed is the launch-time execution-time prediction from
+	// monitoring data (0 when predictions are disabled).
+	PredictedElapsed time.Duration `json:"predicted_elapsed,omitempty"`
+	Error            string        `json:"error,omitempty"`
+}
+
+// QueueStats summarizes the manager's queue.
+type QueueStats struct {
+	Pending int `json:"pending"`
+	Running int `json:"running"`
+	Done    int `json:"done"`
+	Failed  int `json:"failed"`
+}
+
+// Manager extends a broker Server with job submission: jobs are queued,
+// launched when the broker stops recommending to wait, and tracked to
+// completion. cmd/nlarm-broker wires this to internal/jobqueue plus the
+// simulated world.
+type Manager interface {
+	// Submit queues a job and returns its ID.
+	Submit(req SubmitRequest) (int, error)
+	// Status returns a job's state.
+	Status(id int) (JobInfo, bool)
+	// QueueStats returns queue counters.
+	QueueStats() QueueStats
+}

@@ -1,0 +1,299 @@
+package broker
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// wireRequest is the newline-delimited JSON protocol envelope.
+type wireRequest struct {
+	// Action is "allocate", "policies", "health", or — when the server
+	// has a Manager — "submit", "job", "queue".
+	Action  string         `json:"action"`
+	Request Request        `json:"request,omitempty"`
+	Submit  *SubmitRequest `json:"submit,omitempty"`
+	JobID   int            `json:"job_id,omitempty"`
+}
+
+type wireResponse struct {
+	OK       bool        `json:"ok"`
+	Error    string      `json:"error,omitempty"`
+	Response *Response   `json:"response,omitempty"`
+	Policies []string    `json:"policies,omitempty"`
+	Health   string      `json:"health,omitempty"`
+	JobID    int         `json:"job_id,omitempty"`
+	Job      *JobInfo    `json:"job,omitempty"`
+	Queue    *QueueStats `json:"queue,omitempty"`
+}
+
+// Server exposes a Broker over TCP with a newline-delimited JSON
+// protocol: one request object per line, one response object per line.
+type Server struct {
+	b   *Broker
+	mgr Manager // optional job-submission backend
+	ln  net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer starts serving b on addr (e.g. "127.0.0.1:7077"; use port 0
+// for an ephemeral port). The returned server is already accepting.
+func NewServer(b *Broker, addr string) (*Server, error) {
+	return NewManagedServer(b, nil, addr)
+}
+
+// NewManagedServer is NewServer with a job-submission Manager attached;
+// the submit/job/queue wire actions are enabled when mgr is non-nil.
+func NewManagedServer(b *Broker, mgr Manager, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("broker: listen %s: %w", addr, err)
+	}
+	s := &Server{b: b, mgr: mgr, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	enc := json.NewEncoder(conn)
+	for scanner.Scan() {
+		line := scanner.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req wireRequest
+		var resp wireResponse
+		if err := json.Unmarshal(line, &req); err != nil {
+			resp = wireResponse{Error: fmt.Sprintf("bad request: %v", err)}
+		} else {
+			resp = s.handle(req)
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req wireRequest) wireResponse {
+	switch req.Action {
+	case "allocate":
+		r, err := s.b.Allocate(req.Request)
+		if err != nil {
+			return wireResponse{Error: err.Error()}
+		}
+		return wireResponse{OK: true, Response: &r}
+	case "policies":
+		return wireResponse{OK: true, Policies: s.b.Policies()}
+	case "health":
+		return wireResponse{OK: true, Health: "ok"}
+	case "submit":
+		if s.mgr == nil {
+			return wireResponse{Error: "server has no job manager"}
+		}
+		if req.Submit == nil {
+			return wireResponse{Error: "submit action without submit payload"}
+		}
+		id, err := s.mgr.Submit(*req.Submit)
+		if err != nil {
+			return wireResponse{Error: err.Error()}
+		}
+		return wireResponse{OK: true, JobID: id}
+	case "job":
+		if s.mgr == nil {
+			return wireResponse{Error: "server has no job manager"}
+		}
+		info, ok := s.mgr.Status(req.JobID)
+		if !ok {
+			return wireResponse{Error: fmt.Sprintf("no job %d", req.JobID)}
+		}
+		return wireResponse{OK: true, Job: &info}
+	case "queue":
+		if s.mgr == nil {
+			return wireResponse{Error: "server has no job manager"}
+		}
+		qs := s.mgr.QueueStats()
+		return wireResponse{OK: true, Queue: &qs}
+	default:
+		return wireResponse{Error: fmt.Sprintf("unknown action %q", req.Action)}
+	}
+}
+
+// Close stops accepting and tears down open connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Client talks to a broker Server.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *json.Encoder
+	sc   *bufio.Scanner
+}
+
+// Dial connects to a broker server at addr.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("broker: dial %s: %w", addr, err)
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &Client{conn: conn, enc: json.NewEncoder(conn), sc: sc}, nil
+}
+
+func (c *Client) roundTrip(req wireRequest) (wireResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return wireResponse{}, fmt.Errorf("broker: send: %w", err)
+	}
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return wireResponse{}, fmt.Errorf("broker: recv: %w", err)
+		}
+		return wireResponse{}, errors.New("broker: connection closed")
+	}
+	var resp wireResponse
+	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+		return wireResponse{}, fmt.Errorf("broker: decode: %w", err)
+	}
+	return resp, nil
+}
+
+// Allocate requests an allocation.
+func (c *Client) Allocate(req Request) (Response, error) {
+	resp, err := c.roundTrip(wireRequest{Action: "allocate", Request: req})
+	if err != nil {
+		return Response{}, err
+	}
+	if resp.Error != "" {
+		return Response{}, errors.New(resp.Error)
+	}
+	if resp.Response == nil {
+		return Response{}, errors.New("broker: empty response")
+	}
+	return *resp.Response, nil
+}
+
+// Policies lists the server's registered policies.
+func (c *Client) Policies() ([]string, error) {
+	resp, err := c.roundTrip(wireRequest{Action: "policies"})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Error != "" {
+		return nil, errors.New(resp.Error)
+	}
+	return resp.Policies, nil
+}
+
+// Health checks the server is alive.
+func (c *Client) Health() error {
+	resp, err := c.roundTrip(wireRequest{Action: "health"})
+	if err != nil {
+		return err
+	}
+	if resp.Error != "" {
+		return errors.New(resp.Error)
+	}
+	return nil
+}
+
+// Submit queues a job on a managed server and returns its ID.
+func (c *Client) Submit(req SubmitRequest) (int, error) {
+	resp, err := c.roundTrip(wireRequest{Action: "submit", Submit: &req})
+	if err != nil {
+		return 0, err
+	}
+	if resp.Error != "" {
+		return 0, errors.New(resp.Error)
+	}
+	return resp.JobID, nil
+}
+
+// JobStatus fetches a submitted job's state.
+func (c *Client) JobStatus(id int) (JobInfo, error) {
+	resp, err := c.roundTrip(wireRequest{Action: "job", JobID: id})
+	if err != nil {
+		return JobInfo{}, err
+	}
+	if resp.Error != "" {
+		return JobInfo{}, errors.New(resp.Error)
+	}
+	if resp.Job == nil {
+		return JobInfo{}, errors.New("broker: empty job status")
+	}
+	return *resp.Job, nil
+}
+
+// QueueStats fetches the managed server's queue counters.
+func (c *Client) QueueStats() (QueueStats, error) {
+	resp, err := c.roundTrip(wireRequest{Action: "queue"})
+	if err != nil {
+		return QueueStats{}, err
+	}
+	if resp.Error != "" {
+		return QueueStats{}, errors.New(resp.Error)
+	}
+	if resp.Queue == nil {
+		return QueueStats{}, errors.New("broker: empty queue stats")
+	}
+	return *resp.Queue, nil
+}
+
+// Close closes the client connection.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,190 @@
+// Package hostfile reads and writes MPI hostfiles — the interface between
+// the broker and mpiexec. The paper's workflow ends with a list of
+// "host:slots" lines handed to the MPI process manager; this package
+// provides the parsing, validation and rank-mapping that a real launcher
+// needs (MPICH/Hydra hostfile syntax: one host per line, optional
+// ":slots" suffix, '#' comments).
+package hostfile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one hostfile line: a host with a slot count.
+type Entry struct {
+	Host  string
+	Slots int
+}
+
+// Hostfile is an ordered list of entries.
+type Hostfile struct {
+	Entries []Entry
+}
+
+// Parse reads hostfile syntax: one "host" or "host:slots" per line,
+// blank lines and '#' comments ignored. A bare host means one slot.
+// Duplicate hosts accumulate slots (mpiexec semantics).
+func Parse(r io.Reader) (*Hostfile, error) {
+	hf := &Hostfile{}
+	index := make(map[string]int)
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		host := line
+		slots := 1
+		if i := strings.IndexByte(line, ':'); i >= 0 {
+			host = strings.TrimSpace(line[:i])
+			v, err := strconv.Atoi(strings.TrimSpace(line[i+1:]))
+			if err != nil {
+				return nil, fmt.Errorf("hostfile: line %d: bad slot count %q", lineNo, line[i+1:])
+			}
+			slots = v
+		}
+		if host == "" {
+			return nil, fmt.Errorf("hostfile: line %d: empty host", lineNo)
+		}
+		if slots <= 0 {
+			return nil, fmt.Errorf("hostfile: line %d: non-positive slots %d", lineNo, slots)
+		}
+		if at, ok := index[host]; ok {
+			hf.Entries[at].Slots += slots
+			continue
+		}
+		index[host] = len(hf.Entries)
+		hf.Entries = append(hf.Entries, Entry{Host: host, Slots: slots})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("hostfile: read: %w", err)
+	}
+	return hf, nil
+}
+
+// ParseLines parses broker-style "host:slots" strings.
+func ParseLines(lines []string) (*Hostfile, error) {
+	return Parse(strings.NewReader(strings.Join(lines, "\n")))
+}
+
+// Write renders the hostfile in "host:slots" form.
+func (h *Hostfile) Write(w io.Writer) error {
+	for _, e := range h.Entries {
+		if _, err := fmt.Fprintf(w, "%s:%d\n", e.Host, e.Slots); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the hostfile as a single string.
+func (h *Hostfile) String() string {
+	var b strings.Builder
+	_ = h.Write(&b)
+	return b.String()
+}
+
+// TotalSlots returns the sum of slot counts.
+func (h *Hostfile) TotalSlots() int {
+	total := 0
+	for _, e := range h.Entries {
+		total += e.Slots
+	}
+	return total
+}
+
+// Hosts returns the hosts in file order.
+func (h *Hostfile) Hosts() []string {
+	out := make([]string, len(h.Entries))
+	for i, e := range h.Entries {
+		out[i] = e.Host
+	}
+	return out
+}
+
+// Validate checks the hostfile can run np processes and that every host
+// is in the allowed set (e.g. the monitor's livehosts). allowed may be
+// nil to skip the membership check.
+func (h *Hostfile) Validate(np int, allowed map[string]bool) error {
+	if len(h.Entries) == 0 {
+		return fmt.Errorf("hostfile: empty")
+	}
+	if total := h.TotalSlots(); total < np {
+		return fmt.Errorf("hostfile: %d slots for %d processes", total, np)
+	}
+	if allowed != nil {
+		var bad []string
+		for _, e := range h.Entries {
+			if !allowed[e.Host] {
+				bad = append(bad, e.Host)
+			}
+		}
+		if len(bad) > 0 {
+			sort.Strings(bad)
+			return fmt.Errorf("hostfile: hosts not in the live set: %s", strings.Join(bad, ", "))
+		}
+	}
+	return nil
+}
+
+// RankMapping strategies mirror mpiexec's process placement.
+type RankMapping int
+
+const (
+	// Block fills each host's slots before moving on (mpiexec default).
+	Block RankMapping = iota
+	// RoundRobin deals ranks across hosts one at a time.
+	RoundRobin
+)
+
+// MapRanks assigns np ranks to hosts under the given strategy. It errors
+// when the hostfile has fewer than np slots.
+func (h *Hostfile) MapRanks(np int, strategy RankMapping) ([]string, error) {
+	if err := h.Validate(np, nil); err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, np)
+	switch strategy {
+	case Block:
+		for _, e := range h.Entries {
+			for s := 0; s < e.Slots && len(out) < np; s++ {
+				out = append(out, e.Host)
+			}
+			if len(out) == np {
+				break
+			}
+		}
+	case RoundRobin:
+		used := make([]int, len(h.Entries))
+		for len(out) < np {
+			progressed := false
+			for i, e := range h.Entries {
+				if used[i] < e.Slots {
+					out = append(out, e.Host)
+					used[i]++
+					progressed = true
+					if len(out) == np {
+						break
+					}
+				}
+			}
+			if !progressed {
+				return nil, fmt.Errorf("hostfile: ran out of slots at rank %d", len(out))
+			}
+		}
+	default:
+		return nil, fmt.Errorf("hostfile: unknown mapping strategy %d", strategy)
+	}
+	return out, nil
+}

@@ -1,0 +1,184 @@
+package hostfile
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustParse(t *testing.T, src string) *Hostfile {
+	t.Helper()
+	hf, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hf
+}
+
+func TestParseBasic(t *testing.T) {
+	hf := mustParse(t, "csews1:4\ncsews2:4\n")
+	if len(hf.Entries) != 2 || hf.TotalSlots() != 8 {
+		t.Fatalf("parsed %+v", hf)
+	}
+	if hf.Entries[0].Host != "csews1" || hf.Entries[0].Slots != 4 {
+		t.Fatalf("first entry %+v", hf.Entries[0])
+	}
+}
+
+func TestParseBareHostMeansOneSlot(t *testing.T) {
+	hf := mustParse(t, "a\nb\n")
+	if hf.TotalSlots() != 2 {
+		t.Fatalf("slots %d", hf.TotalSlots())
+	}
+}
+
+func TestParseCommentsAndBlanks(t *testing.T) {
+	hf := mustParse(t, `
+# my cluster
+a:2   # fast node
+
+b:3
+`)
+	if len(hf.Entries) != 2 || hf.TotalSlots() != 5 {
+		t.Fatalf("parsed %+v", hf)
+	}
+}
+
+func TestParseDuplicateHostsAccumulate(t *testing.T) {
+	hf := mustParse(t, "a:2\nb:1\na:3\n")
+	if len(hf.Entries) != 2 {
+		t.Fatalf("entries %+v", hf.Entries)
+	}
+	if hf.Entries[0].Slots != 5 {
+		t.Fatalf("a slots %d", hf.Entries[0].Slots)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for name, src := range map[string]string{
+		"bad slots":  "a:x\n",
+		"zero slots": "a:0\n",
+		"neg slots":  "a:-2\n",
+		"empty host": ":4\n",
+	} {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	hf := mustParse(t, "a:2\nb:3\n")
+	out := hf.String()
+	hf2 := mustParse(t, out)
+	if hf2.String() != out {
+		t.Fatalf("round trip: %q vs %q", out, hf2.String())
+	}
+}
+
+func TestParseLines(t *testing.T) {
+	hf, err := ParseLines([]string{"csews1:4", "csews9:4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hf.TotalSlots() != 8 {
+		t.Fatalf("slots %d", hf.TotalSlots())
+	}
+	if got := hf.Hosts(); len(got) != 2 || got[1] != "csews9" {
+		t.Fatalf("hosts %v", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	hf := mustParse(t, "a:4\nb:4\n")
+	if err := hf.Validate(8, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := hf.Validate(9, nil); err == nil {
+		t.Fatal("overcommit accepted")
+	}
+	allowed := map[string]bool{"a": true}
+	if err := hf.Validate(4, allowed); err == nil {
+		t.Fatal("dead host accepted")
+	}
+	if err := (&Hostfile{}).Validate(1, nil); err == nil {
+		t.Fatal("empty hostfile accepted")
+	}
+}
+
+func TestMapRanksBlock(t *testing.T) {
+	hf := mustParse(t, "a:2\nb:2\n")
+	ranks, err := hf.MapRanks(3, Block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "a", "b"}
+	for i := range want {
+		if ranks[i] != want[i] {
+			t.Fatalf("block mapping %v", ranks)
+		}
+	}
+}
+
+func TestMapRanksRoundRobin(t *testing.T) {
+	hf := mustParse(t, "a:2\nb:2\n")
+	ranks, err := hf.MapRanks(4, RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "a", "b"}
+	for i := range want {
+		if ranks[i] != want[i] {
+			t.Fatalf("round-robin mapping %v", ranks)
+		}
+	}
+}
+
+func TestMapRanksErrors(t *testing.T) {
+	hf := mustParse(t, "a:1\n")
+	if _, err := hf.MapRanks(2, Block); err == nil {
+		t.Fatal("overcommit mapping accepted")
+	}
+	if _, err := hf.MapRanks(1, RankMapping(9)); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}
+
+// Property: for any valid slot configuration, both mappings produce
+// exactly np ranks and never exceed any host's slots.
+func TestMapRanksProperties(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 10 {
+			raw = raw[:10]
+		}
+		hf := &Hostfile{}
+		total := 0
+		for i, r := range raw {
+			slots := int(r%8) + 1
+			hf.Entries = append(hf.Entries, Entry{Host: string(rune('a' + i)), Slots: slots})
+			total += slots
+		}
+		for _, strat := range []RankMapping{Block, RoundRobin} {
+			ranks, err := hf.MapRanks(total, strat)
+			if err != nil || len(ranks) != total {
+				return false
+			}
+			counts := map[string]int{}
+			for _, h := range ranks {
+				counts[h]++
+			}
+			for _, e := range hf.Entries {
+				if counts[e.Host] != e.Slots {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,282 @@
+// Package jobqueue turns the broker into a small resource manager: jobs
+// are submitted to a FIFO queue, and each is launched as soon as the
+// broker stops recommending to wait (§6 of the paper: "If the overall
+// load on the cluster is extremely high ... our tool should recommend
+// waiting rather than allocating it right away"). The queue retries at a
+// fixed period, preserves submission order (head-of-line), and records
+// per-job lifecycle timestamps.
+package jobqueue
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"nlarm/internal/broker"
+	"nlarm/internal/simtime"
+)
+
+// State is a queued job's lifecycle state.
+type State string
+
+const (
+	// StatePending means the job is waiting for an allocation.
+	StatePending State = "pending"
+	// StateRunning means the job was launched and has not completed.
+	StateRunning State = "running"
+	// StateDone means the job's Run callback reported completion.
+	StateDone State = "done"
+	// StateFailed means allocation or launch failed permanently.
+	StateFailed State = "failed"
+)
+
+// Spec describes a job submission.
+type Spec struct {
+	// Name labels the job in status output.
+	Name string
+	// Request is the broker request made on the job's behalf. Force is
+	// ignored — the queue exists to honor wait recommendations.
+	Request broker.Request
+	// Start launches job `id` on the granted allocation. It must not
+	// block; it reports completion by calling done (exactly once).
+	Start func(id int, resp broker.Response, done func(error)) error
+}
+
+// Job is the queue's view of one submission.
+type Job struct {
+	ID        int
+	Name      string
+	State     State
+	Submitted time.Time
+	Started   time.Time
+	Finished  time.Time
+	// Attempts counts allocation attempts (including wait answers).
+	Attempts int
+	// WaitAnswers counts attempts answered with a wait recommendation.
+	WaitAnswers int
+	// Err holds the failure cause for StateFailed.
+	Err error
+	// Response is the allocation the job ran on (valid from StateRunning).
+	Response broker.Response
+}
+
+// Config tunes the queue.
+type Config struct {
+	// RetryPeriod is how often the queue re-attempts the head job.
+	// Default 30s.
+	RetryPeriod time.Duration
+	// MaxAttempts fails a job after this many allocation attempts
+	// (0 = unlimited).
+	MaxAttempts int
+}
+
+// Queue is a FIFO job queue over a broker. Safe for concurrent use.
+type Queue struct {
+	b   *broker.Broker
+	rt  simtime.Runtime
+	cfg Config
+
+	mu      sync.Mutex
+	nextID  int
+	pending []*Job
+	jobs    map[int]*Job
+	specs   map[int]Spec
+	cancel  simtime.CancelFunc
+	running int
+}
+
+// New builds a queue over broker b on runtime rt.
+func New(b *broker.Broker, rt simtime.Runtime, cfg Config) *Queue {
+	if cfg.RetryPeriod <= 0 {
+		cfg.RetryPeriod = 30 * time.Second
+	}
+	return &Queue{
+		b: b, rt: rt, cfg: cfg,
+		nextID: 1,
+		jobs:   make(map[int]*Job),
+		specs:  make(map[int]Spec),
+	}
+}
+
+// Start begins the retry loop. Starting twice is an error.
+func (q *Queue) Start() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.cancel != nil {
+		return fmt.Errorf("jobqueue: already started")
+	}
+	q.cancel = q.rt.Every(q.cfg.RetryPeriod, "jobqueue.retry", func(now time.Time) {
+		q.tryLaunch(now)
+	})
+	return nil
+}
+
+// Stop halts the retry loop; queued jobs stay pending.
+func (q *Queue) Stop() {
+	q.mu.Lock()
+	cancel := q.cancel
+	q.cancel = nil
+	q.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// Submit enqueues a job and immediately attempts to launch the queue
+// head. It returns the job ID.
+func (q *Queue) Submit(spec Spec) (int, error) {
+	if spec.Start == nil {
+		return 0, fmt.Errorf("jobqueue: spec %q has no Start", spec.Name)
+	}
+	if spec.Request.Force {
+		return 0, fmt.Errorf("jobqueue: spec %q sets Force; submit directly to the broker instead", spec.Name)
+	}
+	q.mu.Lock()
+	id := q.nextID
+	q.nextID++
+	j := &Job{ID: id, Name: spec.Name, State: StatePending, Submitted: q.rt.Now()}
+	q.jobs[id] = j
+	q.specs[id] = spec
+	q.pending = append(q.pending, j)
+	q.mu.Unlock()
+	q.tryLaunch(q.rt.Now())
+	return id, nil
+}
+
+// tryLaunch attempts to start queued jobs in order, stopping at the first
+// that must keep waiting (head-of-line ordering, like the paper's
+// single-cluster FIFO assumption).
+func (q *Queue) tryLaunch(now time.Time) {
+	for {
+		q.mu.Lock()
+		if len(q.pending) == 0 {
+			q.mu.Unlock()
+			return
+		}
+		j := q.pending[0]
+		spec := q.specs[j.ID]
+		q.mu.Unlock()
+
+		resp, err := q.b.Allocate(spec.Request)
+
+		q.mu.Lock()
+		// The head may have changed while we were allocating.
+		if len(q.pending) == 0 || q.pending[0] != j {
+			q.mu.Unlock()
+			continue
+		}
+		j.Attempts++
+		if err != nil {
+			if q.cfg.MaxAttempts > 0 && j.Attempts >= q.cfg.MaxAttempts {
+				j.State = StateFailed
+				j.Err = err
+				j.Finished = now
+				q.pending = q.pending[1:]
+				delete(q.specs, j.ID)
+				q.mu.Unlock()
+				continue
+			}
+			q.mu.Unlock()
+			return // transient (e.g. monitor warming up): retry later
+		}
+		if resp.Recommendation == broker.RecommendWait {
+			j.WaitAnswers++
+			if q.cfg.MaxAttempts > 0 && j.Attempts >= q.cfg.MaxAttempts {
+				j.State = StateFailed
+				j.Err = fmt.Errorf("jobqueue: gave up after %d wait answers", j.WaitAnswers)
+				j.Finished = now
+				q.pending = q.pending[1:]
+				delete(q.specs, j.ID)
+				q.mu.Unlock()
+				continue
+			}
+			q.mu.Unlock()
+			return // cluster busy: whole queue waits
+		}
+		// Launch.
+		j.State = StateRunning
+		j.Started = now
+		j.Response = resp
+		q.pending = q.pending[1:]
+		delete(q.specs, j.ID)
+		q.running++
+		q.mu.Unlock()
+
+		id := j.ID
+		done := func(runErr error) { q.finish(id, runErr) }
+		if err := spec.Start(id, resp, done); err != nil {
+			q.finish(id, err)
+		}
+	}
+}
+
+// finish records a job's completion.
+func (q *Queue) finish(id int, err error) {
+	q.mu.Lock()
+	j, ok := q.jobs[id]
+	if !ok || j.State != StateRunning {
+		q.mu.Unlock()
+		return
+	}
+	if err != nil {
+		j.State = StateFailed
+		j.Err = err
+	} else {
+		j.State = StateDone
+	}
+	j.Finished = q.rt.Now()
+	q.running--
+	q.mu.Unlock()
+	// A finished job may have freed the nodes the head is waiting for.
+	q.tryLaunch(q.rt.Now())
+}
+
+// Job returns a snapshot of job id.
+func (q *Queue) Job(id int) (Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *j, true
+}
+
+// Stats summarizes the queue.
+type Stats struct {
+	Pending int
+	Running int
+	Done    int
+	Failed  int
+}
+
+// Stats returns current queue counters.
+func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var s Stats
+	for _, j := range q.jobs {
+		switch j.State {
+		case StatePending:
+			s.Pending++
+		case StateRunning:
+			s.Running++
+		case StateDone:
+			s.Done++
+		case StateFailed:
+			s.Failed++
+		}
+	}
+	return s
+}
+
+// Pending returns the IDs of queued jobs in order.
+func (q *Queue) Pending() []int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]int, len(q.pending))
+	for i, j := range q.pending {
+		out[i] = j.ID
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+// Package metrics defines the data types exchanged between the resource
+// monitoring daemons and the node allocator: per-node attribute snapshots
+// (Table 1 of the paper) and pairwise network measurements. These are the
+// only inputs the allocator ever sees — it never touches simulator ground
+// truth — preserving the paper's information boundary (the allocator works
+// from monitoring data that is seconds to minutes stale).
+package metrics
+
+import (
+	"time"
+
+	"nlarm/internal/stats"
+)
+
+// NodeAttrs is one node's published state: static hardware attributes and
+// the dynamic attributes with their 1/5/15-minute running means.
+type NodeAttrs struct {
+	NodeID    int       `json:"node_id"`
+	Hostname  string    `json:"hostname"`
+	Timestamp time.Time `json:"timestamp"`
+
+	// Static attributes.
+	Cores      int     `json:"cores"`
+	FreqGHz    float64 `json:"freq_ghz"`
+	TotalMemMB float64 `json:"total_mem_mb"`
+
+	// Dynamic attributes (instantaneous latest sample).
+	Users int `json:"users"`
+
+	// Dynamic attributes with running means.
+	CPULoad     stats.Windowed `json:"cpu_load"`
+	CPUUtilPct  stats.Windowed `json:"cpu_util_pct"`
+	FlowRateBps stats.Windowed `json:"flow_rate_bps"`
+	AvailMemMB  stats.Windowed `json:"avail_mem_mb"`
+
+	// One-step-ahead forecasts (NWS-style ensemble in internal/forecast);
+	// nil when the node's daemon has too little history.
+	CPULoadForecast  *Forecast `json:"cpu_load_forecast,omitempty"`
+	FlowRateForecast *Forecast `json:"flow_rate_forecast,omitempty"`
+}
+
+// Forecast is a published one-step-ahead prediction together with the
+// time-series method that produced it (the ensemble's current best).
+type Forecast struct {
+	Value  float64 `json:"value"`
+	Method string  `json:"method"`
+}
+
+// PairLatency is a published point-to-point latency measurement with the
+// paper's 1- and 5-minute running means (§4: "We maintain average of last
+// 1 and 5 minutes of P2P latency and use this in our algorithm").
+type PairLatency struct {
+	U         int           `json:"u"`
+	V         int           `json:"v"`
+	Timestamp time.Time     `json:"timestamp"`
+	Last      time.Duration `json:"last"`
+	Mean1     time.Duration `json:"mean1"`
+	Mean5     time.Duration `json:"mean5"`
+}
+
+// PairBandwidth is a published point-to-point effective bandwidth
+// measurement. Per §4 the allocator uses the instantaneous value.
+type PairBandwidth struct {
+	U         int       `json:"u"`
+	V         int       `json:"v"`
+	Timestamp time.Time `json:"timestamp"`
+	// AvailBps is the measured effective bandwidth in bytes/sec.
+	AvailBps float64 `json:"avail_bps"`
+	// PeakBps is the zero-load bottleneck capacity, used to compute the
+	// "complement of available bandwidth".
+	PeakBps float64 `json:"peak_bps"`
+}
+
+// Snapshot is the consolidated monitoring view the allocator consumes.
+type Snapshot struct {
+	Taken     time.Time                 `json:"taken"`
+	Livehosts []int                     `json:"livehosts"`
+	Nodes     map[int]NodeAttrs         `json:"nodes"`
+	Latency   map[PairKey]PairLatency   `json:"-"`
+	Bandwidth map[PairKey]PairBandwidth `json:"-"`
+}
+
+// PairKey identifies an unordered node pair; U < V always.
+type PairKey struct {
+	U, V int
+}
+
+// Pair returns the canonical key for nodes a and b.
+func Pair(a, b int) PairKey {
+	if a > b {
+		a, b = b, a
+	}
+	return PairKey{U: a, V: b}
+}
+
+// LatencyOf returns the 1-minute-mean latency between a and b, falling
+// back to the last sample, and ok=false when the pair was never measured.
+func (s *Snapshot) LatencyOf(a, b int) (time.Duration, bool) {
+	pl, ok := s.Latency[Pair(a, b)]
+	if !ok {
+		return 0, false
+	}
+	if pl.Mean1 > 0 {
+		return pl.Mean1, true
+	}
+	return pl.Last, true
+}
+
+// BandwidthOf returns the instantaneous available bandwidth and peak
+// capacity between a and b; ok=false when never measured.
+func (s *Snapshot) BandwidthOf(a, b int) (avail, peak float64, ok bool) {
+	pb, found := s.Bandwidth[Pair(a, b)]
+	if !found {
+		return 0, 0, false
+	}
+	return pb.AvailBps, pb.PeakBps, true
+}
+
+// Alive reports whether node id is in the livehosts list.
+func (s *Snapshot) Alive(id int) bool {
+	for _, h := range s.Livehosts {
+		if h == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the snapshot (maps are copied; values are
+// plain data).
+func (s *Snapshot) Clone() *Snapshot {
+	c := &Snapshot{
+		Taken:     s.Taken,
+		Livehosts: append([]int(nil), s.Livehosts...),
+		Nodes:     make(map[int]NodeAttrs, len(s.Nodes)),
+		Latency:   make(map[PairKey]PairLatency, len(s.Latency)),
+		Bandwidth: make(map[PairKey]PairBandwidth, len(s.Bandwidth)),
+	}
+	for k, v := range s.Nodes {
+		c.Nodes[k] = v
+	}
+	for k, v := range s.Latency {
+		c.Latency[k] = v
+	}
+	for k, v := range s.Bandwidth {
+		c.Bandwidth[k] = v
+	}
+	return c
+}

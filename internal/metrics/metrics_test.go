@@ -1,0 +1,130 @@
+package metrics
+
+import (
+	"encoding/json"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPairCanonical(t *testing.T) {
+	if Pair(5, 2) != Pair(2, 5) {
+		t.Fatal("Pair not order-insensitive")
+	}
+	p := Pair(9, 3)
+	if p.U != 3 || p.V != 9 {
+		t.Fatalf("Pair = %+v", p)
+	}
+}
+
+func TestPairCanonicalProperty(t *testing.T) {
+	f := func(a, b int16) bool {
+		p := Pair(int(a), int(b))
+		return p.U <= p.V && Pair(int(b), int(a)) == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testSnapshot() *Snapshot {
+	now := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	return &Snapshot{
+		Taken:     now,
+		Livehosts: []int{0, 1, 2},
+		Nodes: map[int]NodeAttrs{
+			0: {NodeID: 0, Hostname: "a", Cores: 12},
+			1: {NodeID: 1, Hostname: "b", Cores: 8},
+		},
+		Latency: map[PairKey]PairLatency{
+			Pair(0, 1): {U: 0, V: 1, Last: 200 * time.Microsecond, Mean1: 150 * time.Microsecond},
+			Pair(1, 2): {U: 1, V: 2, Last: 300 * time.Microsecond}, // no mean yet
+		},
+		Bandwidth: map[PairKey]PairBandwidth{
+			Pair(0, 1): {U: 0, V: 1, AvailBps: 90e6, PeakBps: 125e6},
+		},
+	}
+}
+
+func TestLatencyOfPrefersMean1(t *testing.T) {
+	s := testSnapshot()
+	lat, ok := s.LatencyOf(1, 0)
+	if !ok || lat != 150*time.Microsecond {
+		t.Fatalf("LatencyOf = %v %v", lat, ok)
+	}
+	// Falls back to last when mean missing.
+	lat, ok = s.LatencyOf(2, 1)
+	if !ok || lat != 300*time.Microsecond {
+		t.Fatalf("fallback LatencyOf = %v %v", lat, ok)
+	}
+	if _, ok := s.LatencyOf(0, 2); ok {
+		t.Fatal("unmeasured pair reported ok")
+	}
+}
+
+func TestBandwidthOf(t *testing.T) {
+	s := testSnapshot()
+	avail, peak, ok := s.BandwidthOf(1, 0)
+	if !ok || avail != 90e6 || peak != 125e6 {
+		t.Fatalf("BandwidthOf = %g %g %v", avail, peak, ok)
+	}
+	if _, _, ok := s.BandwidthOf(0, 2); ok {
+		t.Fatal("unmeasured bandwidth reported ok")
+	}
+}
+
+func TestAlive(t *testing.T) {
+	s := testSnapshot()
+	if !s.Alive(1) || s.Alive(9) {
+		t.Fatal("Alive broken")
+	}
+}
+
+func TestClone(t *testing.T) {
+	s := testSnapshot()
+	c := s.Clone()
+	c.Nodes[0] = NodeAttrs{NodeID: 0, Hostname: "mutated"}
+	c.Livehosts[0] = 99
+	c.Latency[Pair(0, 1)] = PairLatency{}
+	if s.Nodes[0].Hostname != "a" {
+		t.Fatal("Clone shares Nodes map")
+	}
+	if s.Livehosts[0] != 0 {
+		t.Fatal("Clone shares Livehosts slice")
+	}
+	if s.Latency[Pair(0, 1)].Mean1 != 150*time.Microsecond {
+		t.Fatal("Clone shares Latency map")
+	}
+}
+
+func TestNodeAttrsJSONRoundTrip(t *testing.T) {
+	in := NodeAttrs{
+		NodeID: 3, Hostname: "csews4", Cores: 12, FreqGHz: 4.6,
+		TotalMemMB: 16384, Users: 2,
+		Timestamp: time.Date(2020, 3, 2, 8, 0, 0, 0, time.UTC),
+	}
+	in.CPULoad.M1 = 1.5
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out NodeAttrs
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestPairLatencyJSONRoundTrip(t *testing.T) {
+	in := PairLatency{U: 1, V: 2, Last: 250 * time.Microsecond, Mean1: 200 * time.Microsecond, Mean5: 180 * time.Microsecond}
+	b, _ := json.Marshal(in)
+	var out PairLatency
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}

@@ -1,0 +1,216 @@
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"nlarm/internal/simtime"
+	"nlarm/internal/store"
+)
+
+// Store key layout. All values are JSON.
+const (
+	// KeyLivehostsPrefix + replica index -> livehostsRecord
+	KeyLivehostsPrefix = "livehosts/"
+	// KeyNodeStatePrefix + node ID -> metrics.NodeAttrs
+	KeyNodeStatePrefix = "nodestate/"
+	// KeyLatencyMatrix -> []metrics.PairLatency
+	KeyLatencyMatrix = "latency/matrix"
+	// KeyBandwidthMatrix -> []metrics.PairBandwidth
+	KeyBandwidthMatrix = "bandwidth/matrix"
+	// KeyHeartbeatPrefix + daemon name -> heartbeat
+	KeyHeartbeatPrefix = "heartbeat/"
+	// KeyLeader -> leaderLease (central monitor master election)
+	KeyLeader = "centralmon/leader"
+)
+
+// heartbeat is the liveness record every daemon refreshes on each tick.
+type heartbeat struct {
+	Name string    `json:"name"`
+	At   time.Time `json:"at"`
+}
+
+func putJSON(st store.Store, key string, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("monitor: marshal %s: %w", key, err)
+	}
+	return st.Put(key, b)
+}
+
+func getJSON(st store.Store, key string, v any) error {
+	b, err := st.Get(key)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(b, v); err != nil {
+		return fmt.Errorf("monitor: unmarshal %s: %w", key, err)
+	}
+	return nil
+}
+
+func writeHeartbeat(st store.Store, name string, now time.Time) {
+	// Heartbeat failures are deliberately swallowed: a daemon that cannot
+	// reach the store looks dead to the central monitor, which is exactly
+	// the failure semantics we want.
+	_ = putJSON(st, KeyHeartbeatPrefix+name, heartbeat{Name: name, At: now})
+}
+
+// readHeartbeat returns the last heartbeat time of the named daemon.
+func readHeartbeat(st store.Store, name string) (time.Time, bool) {
+	var hb heartbeat
+	if err := getJSON(st, KeyHeartbeatPrefix+name, &hb); err != nil {
+		return time.Time{}, false
+	}
+	return hb.At, true
+}
+
+// Daemon is the common lifecycle of all monitoring daemons. A daemon can
+// be started, stopped gracefully, or crashed (for failure-injection
+// tests); after Stop or Crash it can be started again — that is what the
+// central monitor does when it relaunches a dead daemon.
+type Daemon interface {
+	// Name returns the unique daemon name (also its heartbeat key).
+	Name() string
+	// Period returns the daemon's tick period, which also bounds how
+	// often it heartbeats — supervisors must allow at least this much
+	// staleness.
+	Period() time.Duration
+	// Start begins periodic operation on rt. Starting a running daemon is
+	// an error.
+	Start(rt simtime.Runtime) error
+	// Stop halts the daemon gracefully.
+	Stop()
+	// Crash halts the daemon abruptly (no cleanup), simulating a fault.
+	Crash()
+	// Running reports whether the daemon is currently active.
+	Running() bool
+}
+
+// daemonBase implements the common lifecycle; concrete daemons embed it
+// and provide the tick function.
+type daemonBase struct {
+	mu     sync.Mutex
+	name   string
+	period time.Duration
+	st     store.Store
+	cancel simtime.CancelFunc
+	ticks  int
+}
+
+func (d *daemonBase) Name() string { return d.name }
+
+func (d *daemonBase) Period() time.Duration { return d.period }
+
+func (d *daemonBase) Running() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.cancel != nil
+}
+
+// Ticks returns how many times the daemon has fired (diagnostics/tests).
+func (d *daemonBase) Ticks() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ticks
+}
+
+func (d *daemonBase) start(rt simtime.Runtime, tick func(now time.Time)) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.cancel != nil {
+		return fmt.Errorf("monitor: daemon %s already running", d.name)
+	}
+	d.cancel = rt.Every(d.period, d.name, func(now time.Time) {
+		d.mu.Lock()
+		running := d.cancel != nil
+		if running {
+			d.ticks++
+		}
+		d.mu.Unlock()
+		if !running {
+			return
+		}
+		tick(now)
+		writeHeartbeat(d.st, d.name, now)
+	})
+	// Write an immediate heartbeat so the supervisor does not see a fresh
+	// daemon as dead before its first tick.
+	writeHeartbeat(d.st, d.name, rt.Now())
+	return nil
+}
+
+func (d *daemonBase) stop() {
+	d.mu.Lock()
+	cancel := d.cancel
+	d.cancel = nil
+	d.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+func (d *daemonBase) Stop()  { d.stop() }
+func (d *daemonBase) Crash() { d.stop() }
+
+// Config holds the periods of all monitoring activities. Zero fields take
+// the paper's defaults.
+type Config struct {
+	// NodeStatePeriod is how often NodeStateD samples (paper: 3-10s).
+	NodeStatePeriod time.Duration
+	// LivehostsPeriod is how often LivehostsD pings the cluster.
+	LivehostsPeriod time.Duration
+	// LatencyPeriod is the interval between latency sweeps (paper: 1 min).
+	LatencyPeriod time.Duration
+	// BandwidthPeriod is the interval between bandwidth sweeps (paper: 5 min).
+	BandwidthPeriod time.Duration
+	// SupervisePeriod is how often the central monitor checks heartbeats.
+	SupervisePeriod time.Duration
+	// HeartbeatTimeout is how stale a heartbeat may be before the daemon
+	// is considered dead and relaunched.
+	HeartbeatTimeout time.Duration
+	// LivehostsReplicas is how many LivehostsD instances run (paper: "a
+	// few selected nodes at different frequencies").
+	LivehostsReplicas int
+}
+
+// DefaultConfig returns the paper's monitoring cadence.
+func DefaultConfig() Config {
+	return Config{
+		NodeStatePeriod:   5 * time.Second,
+		LivehostsPeriod:   10 * time.Second,
+		LatencyPeriod:     1 * time.Minute,
+		BandwidthPeriod:   5 * time.Minute,
+		SupervisePeriod:   15 * time.Second,
+		HeartbeatTimeout:  45 * time.Second,
+		LivehostsReplicas: 2,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.NodeStatePeriod == 0 {
+		c.NodeStatePeriod = d.NodeStatePeriod
+	}
+	if c.LivehostsPeriod == 0 {
+		c.LivehostsPeriod = d.LivehostsPeriod
+	}
+	if c.LatencyPeriod == 0 {
+		c.LatencyPeriod = d.LatencyPeriod
+	}
+	if c.BandwidthPeriod == 0 {
+		c.BandwidthPeriod = d.BandwidthPeriod
+	}
+	if c.SupervisePeriod == 0 {
+		c.SupervisePeriod = d.SupervisePeriod
+	}
+	if c.HeartbeatTimeout == 0 {
+		c.HeartbeatTimeout = d.HeartbeatTimeout
+	}
+	if c.LivehostsReplicas == 0 {
+		c.LivehostsReplicas = d.LivehostsReplicas
+	}
+	return c
+}

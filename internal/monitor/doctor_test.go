@@ -1,0 +1,118 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDiagnoseHealthySystem(t *testing.T) {
+	r := newRig(t, 40)
+	mgr := NewManager(r.pr, r.st, fastConfig())
+	if err := mgr.Start(r.sched); err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Stop()
+	r.sched.RunFor(30 * time.Second)
+
+	d, err := Diagnose(r.st, r.sched.Now(), fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Healthy() {
+		t.Fatalf("healthy system diagnosed as degraded:\n%s", FormatDiagnosis(d))
+	}
+	// 8 nodestated + 2 livehostsd + latencyd + bandwidthd + 2 centrals.
+	if len(d.Daemons) != 14 {
+		t.Fatalf("%d daemons in diagnosis", len(d.Daemons))
+	}
+	if d.Livehosts != 8 || d.FreshNodeRecords != 8 || d.StaleNodeRecords != 0 {
+		t.Fatalf("node accounting: %+v", d)
+	}
+	if d.LatencyPairs != 28 || d.BandwidthPairs != 28 {
+		t.Fatalf("matrices %d/%d", d.LatencyPairs, d.BandwidthPairs)
+	}
+	if d.LeaderName == "" || !d.LeaderHealthy {
+		t.Fatalf("leader %q healthy=%v", d.LeaderName, d.LeaderHealthy)
+	}
+	out := FormatDiagnosis(d)
+	if !strings.Contains(out, "HEALTHY") {
+		t.Fatalf("report:\n%s", out)
+	}
+}
+
+func TestDiagnoseDetectsDeadDaemon(t *testing.T) {
+	r := newRig(t, 41)
+	mgr := NewManager(r.pr, r.st, fastConfig())
+	if err := mgr.Start(r.sched); err != nil {
+		t.Fatal(err)
+	}
+	r.sched.RunFor(30 * time.Second)
+	// Stop everything (including the supervisors, so nothing relaunches),
+	// then let heartbeats go stale.
+	mgr.Stop()
+	r.sched.RunFor(5 * time.Minute)
+
+	d, err := Diagnose(r.st, r.sched.Now(), fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Healthy() {
+		t.Fatal("dead system diagnosed as healthy")
+	}
+	dead := 0
+	for _, h := range d.Daemons {
+		if !h.Healthy {
+			dead++
+		}
+	}
+	if dead != len(d.Daemons) {
+		t.Fatalf("%d of %d daemons flagged dead", dead, len(d.Daemons))
+	}
+	if d.LeaderHealthy {
+		t.Fatal("stale lease reported healthy")
+	}
+	out := FormatDiagnosis(d)
+	if !strings.Contains(out, "DEGRADED") || !strings.Contains(out, "DEAD") {
+		t.Fatalf("report:\n%s", out)
+	}
+}
+
+func TestDiagnoseRespectsSlowDaemonPeriods(t *testing.T) {
+	// A healthy BandwidthD heartbeats only every BandwidthPeriod; the
+	// doctor must not flag it between sweeps.
+	r := newRig(t, 42)
+	cfg := fastConfig()
+	cfg.BandwidthPeriod = 2 * time.Minute
+	mgr := NewManager(r.pr, r.st, cfg)
+	if err := mgr.Start(r.sched); err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Stop()
+	// At t=3min the last bandwidth heartbeat is ≤2min old: healthy.
+	r.sched.RunFor(3 * time.Minute)
+	d, err := Diagnose(r.st, r.sched.Now(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range d.Daemons {
+		if h.Name == "bandwidthd" && !h.Healthy {
+			t.Fatalf("slow-but-healthy bandwidthd flagged: age %v threshold %v", h.Age, h.Threshold)
+		}
+	}
+}
+
+func TestDiagnoseEmptyStore(t *testing.T) {
+	r := newRig(t, 43)
+	d, err := Diagnose(r.st, r.sched.Now(), fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Daemons) != 0 || d.Livehosts != 0 {
+		t.Fatalf("empty-store diagnosis %+v", d)
+	}
+	// No lease at all: not healthy.
+	if d.Healthy() {
+		t.Fatal("empty system healthy")
+	}
+}

@@ -1,0 +1,103 @@
+// Package predict estimates how long an MPI job would run on a candidate
+// allocation using only the resource monitor's published data — the same
+// α-β cost model the simulator executes, but driven by measured node
+// attributes and pairwise bandwidth/latency instead of ground truth.
+//
+// This is the broker-side "what-if" that the paper's cost heuristic
+// approximates implicitly: given two candidate node sets, Estimate prices
+// the actual job on each, so allocations can be ranked by predicted
+// execution time and predictions can later be compared against reality.
+package predict
+
+import (
+	"fmt"
+	"time"
+
+	"nlarm/internal/metrics"
+	"nlarm/internal/mpisim"
+)
+
+// snapshotEnv adapts a monitoring snapshot to mpisim.Env: the prediction
+// runs the job against frozen measured conditions.
+type snapshotEnv struct {
+	snap *metrics.Snapshot
+}
+
+func (e snapshotEnv) NodeCores(id int) int { return e.snap.Nodes[id].Cores }
+
+func (e snapshotEnv) NodeFreqGHz(id int) float64 { return e.snap.Nodes[id].FreqGHz }
+
+func (e snapshotEnv) NodeBackgroundLoad(id int, _ int) float64 {
+	return e.snap.Nodes[id].CPULoad.M1
+}
+
+func (e snapshotEnv) AvailBandwidthBps(u, v int, _ int) float64 {
+	if avail, _, ok := e.snap.BandwidthOf(u, v); ok {
+		return avail
+	}
+	return 1 // unmeasured pair: pessimistic, like the allocator's pricing
+}
+
+func (e snapshotEnv) Latency(u, v int) time.Duration {
+	if lat, ok := e.snap.LatencyOf(u, v); ok {
+		return lat
+	}
+	return time.Second
+}
+
+// Estimate prices shape on placement under the snapshot's measured
+// conditions and returns the projected result (total, compute and
+// communication time). Every placed node must have published state.
+func Estimate(snap *metrics.Snapshot, shape *mpisim.Shape, place mpisim.Placement) (mpisim.Result, error) {
+	for _, n := range place.NodeOf {
+		if _, ok := snap.Nodes[n]; !ok {
+			return mpisim.Result{}, fmt.Errorf("predict: node %d has no published state", n)
+		}
+	}
+	j, err := mpisim.NewJob(0, shape, place, snap.Taken)
+	if err != nil {
+		return mpisim.Result{}, err
+	}
+	env := snapshotEnv{snap: snap}
+	// Conditions are frozen, so the job completes in a bounded number of
+	// coarse steps (one, unless the shape is degenerate).
+	const maxSteps = 1000
+	for i := 0; i < maxSteps; i++ {
+		if _, done := j.Advance(env, 24*time.Hour); done {
+			return j.Result(), nil
+		}
+	}
+	return mpisim.Result{}, fmt.Errorf("predict: job %q did not converge within %d steps", shape.Name, maxSteps)
+}
+
+// EstimateAllocation is Estimate over an allocation's rank slots with the
+// given total rank count (block placement, as the broker hands out).
+func EstimateAllocation(snap *metrics.Snapshot, shape *mpisim.Shape, rankNodes []int) (mpisim.Result, error) {
+	if len(rankNodes) != shape.Ranks {
+		return mpisim.Result{}, fmt.Errorf("predict: %d rank slots for %d ranks", len(rankNodes), shape.Ranks)
+	}
+	return Estimate(snap, shape, mpisim.Placement{NodeOf: rankNodes})
+}
+
+// Rank orders candidate allocations (given as rank-node lists) by
+// predicted execution time, ascending. It returns the indices of the
+// candidates in predicted order along with each prediction.
+func Rank(snap *metrics.Snapshot, shape *mpisim.Shape, candidates [][]int) ([]int, []mpisim.Result, error) {
+	results := make([]mpisim.Result, len(candidates))
+	order := make([]int, len(candidates))
+	for i, rankNodes := range candidates {
+		res, err := EstimateAllocation(snap, shape, rankNodes)
+		if err != nil {
+			return nil, nil, fmt.Errorf("predict: candidate %d: %w", i, err)
+		}
+		results[i] = res
+		order[i] = i
+	}
+	// Insertion sort by predicted elapsed (candidate lists are small).
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && results[order[j]].Elapsed < results[order[j-1]].Elapsed; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	return order, results, nil
+}

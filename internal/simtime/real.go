@@ -1,0 +1,91 @@
+package simtime
+
+import (
+	"sync"
+	"time"
+)
+
+// RealRuntime implements Runtime against the wall clock using goroutines
+// and time.Ticker. It is used by the standalone cmd/ daemons; simulations
+// use Scheduler instead.
+type RealRuntime struct {
+	mu      sync.Mutex
+	stopped bool
+	cancels []CancelFunc
+}
+
+// NewRealRuntime returns a wall-clock runtime.
+func NewRealRuntime() *RealRuntime { return &RealRuntime{} }
+
+// Now returns the wall-clock time.
+func (r *RealRuntime) Now() time.Time { return time.Now() }
+
+// track registers a stop channel and returns an idempotent cancel for it,
+// or (nil, noop) if the runtime is already closed.
+func (r *RealRuntime) track() (stop chan struct{}, cancel CancelFunc) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stopped {
+		return nil, func() {}
+	}
+	stop = make(chan struct{})
+	var once sync.Once
+	cancel = func() { once.Do(func() { close(stop) }) }
+	r.cancels = append(r.cancels, cancel)
+	return stop, cancel
+}
+
+// Every runs fn every period on its own goroutine until cancelled.
+func (r *RealRuntime) Every(period time.Duration, name string, fn func(now time.Time)) CancelFunc {
+	stop, cancel := r.track()
+	if stop == nil {
+		return cancel
+	}
+	go func() {
+		t := time.NewTicker(period)
+		defer t.Stop()
+		for {
+			select {
+			case now := <-t.C:
+				fn(now)
+			case <-stop:
+				return
+			}
+		}
+	}()
+	return cancel
+}
+
+// After runs fn once after d on its own goroutine unless cancelled.
+func (r *RealRuntime) After(d time.Duration, name string, fn func(now time.Time)) CancelFunc {
+	stop, cancel := r.track()
+	if stop == nil {
+		return cancel
+	}
+	go func() {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case now := <-t.C:
+			fn(now)
+		case <-stop:
+		}
+	}()
+	return cancel
+}
+
+// Close cancels all outstanding activities started through this runtime.
+func (r *RealRuntime) Close() {
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return
+	}
+	r.stopped = true
+	cancels := r.cancels
+	r.cancels = nil
+	r.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+}

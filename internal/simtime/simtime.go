@@ -1,0 +1,211 @@
+// Package simtime provides virtual time for the cluster simulation.
+//
+// The reproduction runs the paper's two-day monitoring traces and all
+// strong-scaling experiments in milliseconds of wall time by driving every
+// periodic activity (monitor daemons, background-load steps, MPI job
+// progress) from a deterministic discrete-event Scheduler. The same
+// components can run against wall-clock time through RealRuntime, which is
+// what the cmd/ daemons use.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Runtime is the time abstraction shared by the simulated and real modes.
+// Components that need to act periodically depend on this interface only.
+type Runtime interface {
+	// Now returns the current (virtual or wall) time.
+	Now() time.Time
+	// Every schedules fn to run every period, first at Now()+period.
+	// The returned CancelFunc stops future invocations.
+	Every(period time.Duration, name string, fn func(now time.Time)) CancelFunc
+	// After schedules fn to run once at Now()+d.
+	After(d time.Duration, name string, fn func(now time.Time)) CancelFunc
+}
+
+// CancelFunc stops a scheduled activity. It is idempotent.
+type CancelFunc func()
+
+// event is a single scheduled callback.
+type event struct {
+	at     time.Time
+	seq    uint64 // tie-break so equal-time events fire in schedule order
+	name   string
+	fn     func(now time.Time)
+	period time.Duration // 0 for one-shot
+	done   bool
+	index  int // heap index
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Scheduler is a deterministic discrete-event scheduler. It is safe for
+// concurrent scheduling, but RunUntil/Step must be called from one
+// goroutine at a time. Callbacks run synchronously inside Step.
+type Scheduler struct {
+	mu    sync.Mutex
+	now   time.Time
+	seq   uint64
+	queue eventQueue
+}
+
+// NewScheduler returns a scheduler whose virtual clock starts at start.
+func NewScheduler(start time.Time) *Scheduler {
+	return &Scheduler{now: start}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+func (s *Scheduler) schedule(at time.Time, name string, fn func(time.Time), period time.Duration) *event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if at.Before(s.now) {
+		at = s.now
+	}
+	e := &event{at: at, seq: s.seq, name: name, fn: fn, period: period}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+func (s *Scheduler) cancel(e *event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e.done = true
+}
+
+// At schedules fn to run once at time at (clamped to Now if in the past).
+func (s *Scheduler) At(at time.Time, name string, fn func(now time.Time)) CancelFunc {
+	e := s.schedule(at, name, fn, 0)
+	return func() { s.cancel(e) }
+}
+
+// After schedules fn to run once after d.
+func (s *Scheduler) After(d time.Duration, name string, fn func(now time.Time)) CancelFunc {
+	return s.At(s.Now().Add(d), name, fn)
+}
+
+// Every schedules fn to run every period, first at Now()+period.
+// It panics if period <= 0.
+func (s *Scheduler) Every(period time.Duration, name string, fn func(now time.Time)) CancelFunc {
+	if period <= 0 {
+		panic(fmt.Sprintf("simtime: Every(%v) for %q: period must be positive", period, name))
+	}
+	e := s.schedule(s.Now().Add(period), name, fn, period)
+	return func() { s.cancel(e) }
+}
+
+// Step fires the single earliest pending event, advancing the virtual clock
+// to its timestamp. It reports whether an event was fired.
+func (s *Scheduler) Step() bool {
+	for {
+		s.mu.Lock()
+		if len(s.queue) == 0 {
+			s.mu.Unlock()
+			return false
+		}
+		e := heap.Pop(&s.queue).(*event)
+		if e.done {
+			s.mu.Unlock()
+			continue
+		}
+		s.now = e.at
+		if e.period > 0 {
+			// Re-push the same event object so the CancelFunc's done flag
+			// keeps covering all future occurrences.
+			now := e.at
+			e.at = e.at.Add(e.period)
+			e.seq = s.seq
+			s.seq++
+			heap.Push(&s.queue, e)
+			fn := e.fn
+			s.mu.Unlock()
+			fn(now)
+			return true
+		}
+		now := e.at
+		fn := e.fn
+		s.mu.Unlock()
+		fn(now)
+		return true
+	}
+}
+
+// RunUntil fires all events with timestamps <= deadline in order and then
+// advances the clock to deadline. It returns the number of events fired.
+func (s *Scheduler) RunUntil(deadline time.Time) int {
+	fired := 0
+	for {
+		s.mu.Lock()
+		if len(s.queue) == 0 || s.queue[0].at.After(deadline) {
+			if s.now.Before(deadline) {
+				s.now = deadline
+			}
+			s.mu.Unlock()
+			return fired
+		}
+		s.mu.Unlock()
+		if s.Step() {
+			fired++
+		}
+	}
+}
+
+// RunFor is RunUntil(Now()+d).
+func (s *Scheduler) RunFor(d time.Duration) int {
+	return s.RunUntil(s.Now().Add(d))
+}
+
+// Pending returns the number of live scheduled events.
+func (s *Scheduler) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, e := range s.queue {
+		if !e.done {
+			n++
+		}
+	}
+	return n
+}
+
+// Compile-time checks that both time sources satisfy Runtime.
+var (
+	_ Runtime = (*Scheduler)(nil)
+	_ Runtime = (*RealRuntime)(nil)
+)

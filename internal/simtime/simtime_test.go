@@ -1,0 +1,229 @@
+package simtime
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestSchedulerFiresInTimeOrder(t *testing.T) {
+	s := NewScheduler(epoch)
+	var order []int
+	s.At(epoch.Add(3*time.Second), "c", func(time.Time) { order = append(order, 3) })
+	s.At(epoch.Add(1*time.Second), "a", func(time.Time) { order = append(order, 1) })
+	s.At(epoch.Add(2*time.Second), "b", func(time.Time) { order = append(order, 2) })
+	s.RunUntil(epoch.Add(10 * time.Second))
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("fired in order %v", order)
+	}
+}
+
+func TestSchedulerSameTimestampFIFO(t *testing.T) {
+	s := NewScheduler(epoch)
+	var order []string
+	at := epoch.Add(time.Second)
+	s.At(at, "first", func(time.Time) { order = append(order, "first") })
+	s.At(at, "second", func(time.Time) { order = append(order, "second") })
+	s.RunUntil(at)
+	if len(order) != 2 || order[0] != "first" || order[1] != "second" {
+		t.Fatalf("same-time events fired as %v", order)
+	}
+}
+
+func TestSchedulerClockAdvancesToEvent(t *testing.T) {
+	s := NewScheduler(epoch)
+	var sawNow time.Time
+	s.After(5*time.Second, "x", func(now time.Time) { sawNow = now })
+	s.RunUntil(epoch.Add(time.Minute))
+	want := epoch.Add(5 * time.Second)
+	if !sawNow.Equal(want) {
+		t.Fatalf("callback saw now=%v, want %v", sawNow, want)
+	}
+	if !s.Now().Equal(epoch.Add(time.Minute)) {
+		t.Fatalf("RunUntil left clock at %v", s.Now())
+	}
+}
+
+func TestSchedulerEvery(t *testing.T) {
+	s := NewScheduler(epoch)
+	count := 0
+	s.Every(time.Second, "tick", func(time.Time) { count++ })
+	s.RunUntil(epoch.Add(10 * time.Second))
+	if count != 10 {
+		t.Fatalf("10s of 1s ticks fired %d times", count)
+	}
+}
+
+func TestSchedulerEveryCancelStopsFutureTicks(t *testing.T) {
+	s := NewScheduler(epoch)
+	count := 0
+	var cancel CancelFunc
+	cancel = s.Every(time.Second, "tick", func(time.Time) {
+		count++
+		if count == 3 {
+			cancel()
+		}
+	})
+	s.RunUntil(epoch.Add(time.Minute))
+	if count != 3 {
+		t.Fatalf("cancelled periodic fired %d times, want 3", count)
+	}
+}
+
+func TestSchedulerCancelOneShot(t *testing.T) {
+	s := NewScheduler(epoch)
+	fired := false
+	cancel := s.After(time.Second, "x", func(time.Time) { fired = true })
+	cancel()
+	cancel() // idempotent
+	s.RunUntil(epoch.Add(time.Minute))
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestSchedulerEveryPanicsOnBadPeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Every(0) did not panic")
+		}
+	}()
+	NewScheduler(epoch).Every(0, "bad", func(time.Time) {})
+}
+
+func TestSchedulerPastEventClampedToNow(t *testing.T) {
+	s := NewScheduler(epoch)
+	fired := false
+	s.At(epoch.Add(-time.Hour), "past", func(time.Time) { fired = true })
+	s.Step()
+	if !fired {
+		t.Fatal("past-scheduled event did not fire")
+	}
+	if s.Now().Before(epoch) {
+		t.Fatal("clock moved backwards")
+	}
+}
+
+func TestSchedulerRunUntilReturnsCount(t *testing.T) {
+	s := NewScheduler(epoch)
+	for i := 1; i <= 5; i++ {
+		s.After(time.Duration(i)*time.Second, "e", func(time.Time) {})
+	}
+	if n := s.RunUntil(epoch.Add(3 * time.Second)); n != 3 {
+		t.Fatalf("RunUntil fired %d events, want 3", n)
+	}
+	if n := s.RunUntil(epoch.Add(10 * time.Second)); n != 2 {
+		t.Fatalf("second RunUntil fired %d events, want 2", n)
+	}
+}
+
+func TestSchedulerStepEmptyQueue(t *testing.T) {
+	s := NewScheduler(epoch)
+	if s.Step() {
+		t.Fatal("Step on empty queue reported an event")
+	}
+}
+
+func TestSchedulerPending(t *testing.T) {
+	s := NewScheduler(epoch)
+	c1 := s.After(time.Second, "a", func(time.Time) {})
+	s.After(2*time.Second, "b", func(time.Time) {})
+	if got := s.Pending(); got != 2 {
+		t.Fatalf("Pending = %d, want 2", got)
+	}
+	c1()
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("Pending after cancel = %d, want 1", got)
+	}
+}
+
+func TestSchedulerNestedScheduling(t *testing.T) {
+	s := NewScheduler(epoch)
+	var fired []string
+	s.After(time.Second, "outer", func(now time.Time) {
+		fired = append(fired, "outer")
+		s.After(time.Second, "inner", func(time.Time) {
+			fired = append(fired, "inner")
+		})
+	})
+	s.RunUntil(epoch.Add(5 * time.Second))
+	if len(fired) != 2 || fired[1] != "inner" {
+		t.Fatalf("nested scheduling fired %v", fired)
+	}
+}
+
+func TestSchedulerConcurrentScheduling(t *testing.T) {
+	s := NewScheduler(epoch)
+	var wg sync.WaitGroup
+	var count int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.After(time.Duration(i+1)*time.Millisecond, "c", func(time.Time) {
+					atomic.AddInt64(&count, 1)
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+	s.RunUntil(epoch.Add(time.Second))
+	if count != 800 {
+		t.Fatalf("fired %d of 800 concurrent events", count)
+	}
+}
+
+func TestRealRuntimeEveryAndCancel(t *testing.T) {
+	rt := NewRealRuntime()
+	defer rt.Close()
+	var count int64
+	cancel := rt.Every(5*time.Millisecond, "tick", func(time.Time) {
+		atomic.AddInt64(&count, 1)
+	})
+	deadline := time.Now().Add(2 * time.Second)
+	for atomic.LoadInt64(&count) < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if atomic.LoadInt64(&count) < 3 {
+		t.Fatal("real ticker did not fire")
+	}
+	cancel()
+	settled := atomic.LoadInt64(&count)
+	time.Sleep(30 * time.Millisecond)
+	if late := atomic.LoadInt64(&count) - settled; late > 1 {
+		t.Fatalf("%d ticks after cancel", late)
+	}
+}
+
+func TestRealRuntimeAfter(t *testing.T) {
+	rt := NewRealRuntime()
+	defer rt.Close()
+	done := make(chan struct{})
+	rt.After(time.Millisecond, "once", func(time.Time) { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("After never fired")
+	}
+}
+
+func TestRealRuntimeCloseStopsAll(t *testing.T) {
+	rt := NewRealRuntime()
+	var count int64
+	rt.Every(time.Millisecond, "tick", func(time.Time) { atomic.AddInt64(&count, 1) })
+	time.Sleep(10 * time.Millisecond)
+	rt.Close()
+	settled := atomic.LoadInt64(&count)
+	time.Sleep(20 * time.Millisecond)
+	if late := atomic.LoadInt64(&count) - settled; late > 1 {
+		t.Fatalf("%d ticks after Close", late)
+	}
+	// Post-close registrations are inert.
+	cancel := rt.Every(time.Millisecond, "dead", func(time.Time) { t.Error("fired after close") })
+	cancel()
+	time.Sleep(5 * time.Millisecond)
+}

@@ -1,0 +1,122 @@
+package stats
+
+import "fmt"
+
+// Criterion states whether larger attribute values make a resource more or
+// less desirable (Table 1, column 2 of the paper).
+type Criterion int
+
+const (
+	// Minimize means lower raw values are better (e.g. CPU load).
+	Minimize Criterion = iota
+	// Maximize means higher raw values are better (e.g. available memory).
+	Maximize
+)
+
+func (c Criterion) String() string {
+	switch c {
+	case Minimize:
+		return "minimize"
+	case Maximize:
+		return "maximize"
+	default:
+		return fmt.Sprintf("Criterion(%d)", int(c))
+	}
+}
+
+// Attribute describes one column of a SAW decision matrix.
+type Attribute struct {
+	Name      string
+	Weight    float64
+	Criterion Criterion
+}
+
+// NormalizeSum scales vals so they sum to 1 (the paper normalizes every
+// attribute "by dividing the value by the sum of attribute values of all
+// nodes"). If the sum is zero, all entries are mapped to 0. Negative
+// inputs are invalid and produce an error.
+func NormalizeSum(vals []float64) ([]float64, error) {
+	sum := 0.0
+	for i, v := range vals {
+		if v < 0 {
+			return nil, fmt.Errorf("stats: NormalizeSum: negative value %g at index %d", v, i)
+		}
+		sum += v
+	}
+	out := make([]float64, len(vals))
+	if sum == 0 {
+		return out, nil
+	}
+	for i, v := range vals {
+		out[i] = v / sum
+	}
+	return out, nil
+}
+
+// ComplementMax maps each value to max(vals)-v, converting a maximization
+// attribute into a cost ("complementing with respect to the maximum value"
+// in the paper's wording).
+func ComplementMax(vals []float64) []float64 {
+	maxV := 0.0
+	for i, v := range vals {
+		if i == 0 || v > maxV {
+			maxV = v
+		}
+	}
+	out := make([]float64, len(vals))
+	for i, v := range vals {
+		out[i] = maxV - v
+	}
+	return out
+}
+
+// SAWCosts computes the Simple Additive Weights cost of each alternative
+// (row of matrix) against the given attributes (columns). Following the
+// paper's pipeline: each attribute column is (1) sum-normalized across
+// alternatives, (2) complemented w.r.t. its maximum when the attribute's
+// criterion is Maximize so every column becomes a cost, then (3) costs are
+// the weighted sums across columns. Lower cost is better.
+func SAWCosts(attrs []Attribute, matrix [][]float64) ([]float64, error) {
+	n := len(matrix)
+	if n == 0 {
+		return nil, nil
+	}
+	for r, row := range matrix {
+		if len(row) != len(attrs) {
+			return nil, fmt.Errorf("stats: SAWCosts: row %d has %d values, want %d", r, len(row), len(attrs))
+		}
+	}
+	for _, a := range attrs {
+		if a.Weight < 0 {
+			return nil, fmt.Errorf("stats: SAWCosts: attribute %q has negative weight", a.Name)
+		}
+	}
+	costs := make([]float64, n)
+	col := make([]float64, n)
+	for c, a := range attrs {
+		for r := range matrix {
+			col[r] = matrix[r][c]
+		}
+		norm, err := NormalizeSum(col)
+		if err != nil {
+			return nil, fmt.Errorf("stats: SAWCosts: attribute %q: %w", a.Name, err)
+		}
+		if a.Criterion == Maximize {
+			norm = ComplementMax(norm)
+		}
+		for r := range costs {
+			costs[r] += a.Weight * norm[r]
+		}
+	}
+	return costs, nil
+}
+
+// TotalWeight returns the sum of attribute weights (useful for validating
+// weight vectors that are expected to sum to 1).
+func TotalWeight(attrs []Attribute) float64 {
+	sum := 0.0
+	for _, a := range attrs {
+		sum += a.Weight
+	}
+	return sum
+}

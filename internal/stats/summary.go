@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics of a sample set, matching the
+// aggregates the paper reports (average/median/maximum gains, coefficient
+// of variation of run times).
+type Summary struct {
+	N              int
+	Mean           float64
+	Median         float64
+	Min            float64
+	Max            float64
+	StdDev         float64 // population standard deviation
+	CoV            float64 // StdDev / Mean; 0 when Mean == 0
+	Sum            float64
+	percentileData []float64 // sorted copy for Percentile
+}
+
+// Summarize computes a Summary of vals. An empty input yields a zero
+// Summary with N == 0.
+func Summarize(vals []float64) Summary {
+	if len(vals) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	mean := sum / float64(len(sorted))
+	varSum := 0.0
+	for _, v := range sorted {
+		d := v - mean
+		varSum += d * d
+	}
+	std := math.Sqrt(varSum / float64(len(sorted)))
+	cov := 0.0
+	if mean != 0 {
+		cov = std / mean
+	}
+	return Summary{
+		N:              len(sorted),
+		Mean:           mean,
+		Median:         medianSorted(sorted),
+		Min:            sorted[0],
+		Max:            sorted[len(sorted)-1],
+		StdDev:         std,
+		CoV:            cov,
+		Sum:            sum,
+		percentileData: sorted,
+	}
+}
+
+func medianSorted(sorted []float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between order statistics. It returns 0 for an empty
+// summary.
+func (s Summary) Percentile(p float64) float64 {
+	d := s.percentileData
+	if len(d) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return d[0]
+	}
+	if p >= 100 {
+		return d[len(d)-1]
+	}
+	pos := p / 100 * float64(len(d)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return d[lo]
+	}
+	frac := pos - float64(lo)
+	return d[lo]*(1-frac) + d[hi]*frac
+}
+
+// Mean returns the arithmetic mean of vals (0 for empty input).
+func Mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals))
+}
+
+// GainPercent returns the relative improvement of measured over baseline in
+// percent: (baseline-measured)/baseline*100. Positive means measured is
+// faster/cheaper. Returns 0 when baseline is 0.
+func GainPercent(baseline, measured float64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return (baseline - measured) / baseline * 100
+}
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Pearson returns the Pearson correlation coefficient of the paired
+// samples x and y (0 for degenerate inputs). It panics if lengths differ.
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("stats: Pearson with mismatched lengths")
+	}
+	n := float64(len(x))
+	if n < 2 {
+		return 0
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

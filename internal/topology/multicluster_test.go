@@ -1,0 +1,106 @@
+package topology
+
+import (
+	"testing"
+	"time"
+)
+
+func mcConfig(t *testing.T) (*Topology, MultiClusterConfig) {
+	t.Helper()
+	mc := MultiClusterConfig{
+		Clusters:           3,
+		SwitchesPerCluster: 2,
+		NodesPerSwitch:     4,
+	}
+	cfg, err := MultiCluster(mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo, mc
+}
+
+func TestMultiClusterShape(t *testing.T) {
+	topo, _ := mcConfig(t)
+	if topo.NumSwitches() != 6 || topo.NumNodes() != 24 {
+		t.Fatalf("switches=%d nodes=%d", topo.NumSwitches(), topo.NumNodes())
+	}
+}
+
+func TestMultiClusterWANCapacity(t *testing.T) {
+	topo, _ := mcConfig(t)
+	// Intra-cluster trunk (switches 0-1) keeps the default capacity.
+	if c := topo.Capacity(TrunkLink(0, 1)); c != GigabitBps {
+		t.Fatalf("intra trunk capacity %g", c)
+	}
+	// WAN trunk (switches 1-2) is reduced to a quarter.
+	if c := topo.Capacity(TrunkLink(1, 2)); c != GigabitBps/4 {
+		t.Fatalf("WAN trunk capacity %g", c)
+	}
+}
+
+func TestMultiClusterWANLatency(t *testing.T) {
+	topo, _ := mcConfig(t)
+	// Within cluster 0: nodes 0 (switch 0) and 4 (switch 1): 2 hops.
+	intra := topo.BaseLatency(0, 4)
+	if intra != 2*50*time.Microsecond {
+		t.Fatalf("intra-cluster latency %v", intra)
+	}
+	// Across one WAN link: node 0 (cluster 0) to node 8 (cluster 1,
+	// switch 2): 3 hops + 2ms.
+	cross := topo.BaseLatency(0, 8)
+	want := 3*50*time.Microsecond + 2*time.Millisecond
+	if cross != want {
+		t.Fatalf("cross-cluster latency %v, want %v", cross, want)
+	}
+	// Across two WAN links: node 0 to node 16 (cluster 2): 5 hops + 4ms.
+	far := topo.BaseLatency(0, 16)
+	want = 5*50*time.Microsecond + 4*time.Millisecond
+	if far != want {
+		t.Fatalf("two-WAN latency %v, want %v", far, want)
+	}
+}
+
+func TestClusterOfHelper(t *testing.T) {
+	topo, mc := mcConfig(t)
+	clusterOf := mc.ClusterOf(topo)
+	if clusterOf(0) != 0 || clusterOf(7) != 0 {
+		t.Fatal("cluster 0 mapping wrong")
+	}
+	if clusterOf(8) != 1 || clusterOf(15) != 1 {
+		t.Fatal("cluster 1 mapping wrong")
+	}
+	if clusterOf(23) != 2 {
+		t.Fatal("cluster 2 mapping wrong")
+	}
+}
+
+func TestMultiClusterValidation(t *testing.T) {
+	if _, err := MultiCluster(MultiClusterConfig{Clusters: 0, SwitchesPerCluster: 1, NodesPerSwitch: 1}); err == nil {
+		t.Fatal("zero clusters accepted")
+	}
+}
+
+func TestTrunkOverrideValidation(t *testing.T) {
+	cfg := DefaultIITK()
+	cfg.TrunkOverrides = map[[2]int]TrunkSpec{{0, 3}: {CapacityBps: 1}}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("override of nonexistent trunk accepted")
+	}
+	cfg.TrunkOverrides = map[[2]int]TrunkSpec{{0, 1}: {CapacityBps: -1}}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("negative override accepted")
+	}
+	// Order-insensitive keys work.
+	cfg.TrunkOverrides = map[[2]int]TrunkSpec{{1, 0}: {CapacityBps: 5e6}}
+	topo, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := topo.Capacity(TrunkLink(0, 1)); c != 5e6 {
+		t.Fatalf("override not applied: %g", c)
+	}
+}

@@ -1,0 +1,262 @@
+// Package topology models the physical network of the cluster: a tree of
+// switches with nodes attached to leaf switches, matching the paper's
+// testbed ("a tree-like hierarchical topology with 4 switches, each switch
+// connects 10-15 nodes using Gigabit Ethernet"; node pairs are 1-4 hops
+// apart).
+//
+// The topology is static: it supplies hop counts, routed link paths and
+// base link capacities. The *dynamic* state of those links (traffic,
+// effective bandwidth/latency) lives in internal/netmodel.
+package topology
+
+import (
+	"fmt"
+	"time"
+)
+
+// LinkID identifies a physical link. Edge links connect a node to its
+// switch; trunk links connect two switches.
+type LinkID struct {
+	// Kind is "edge" or "trunk".
+	Kind string
+	// A is the node ID for edge links, the lower switch ID for trunks.
+	A int
+	// B is the switch ID for edge links, the higher switch ID for trunks.
+	B int
+}
+
+func (l LinkID) String() string {
+	return fmt.Sprintf("%s:%d-%d", l.Kind, l.A, l.B)
+}
+
+// EdgeLink returns the LinkID of node n's access link to switch s.
+func EdgeLink(n, s int) LinkID { return LinkID{Kind: "edge", A: n, B: s} }
+
+// TrunkLink returns the LinkID of the trunk between switches a and b
+// (order-insensitive).
+func TrunkLink(a, b int) LinkID {
+	if a > b {
+		a, b = b, a
+	}
+	return LinkID{Kind: "trunk", A: a, B: b}
+}
+
+// Config describes a switch tree.
+type Config struct {
+	// NodesPerSwitch[i] is the number of nodes attached to switch i.
+	NodesPerSwitch []int
+	// SwitchLinks lists trunk connections between switches. The resulting
+	// switch graph must be a connected tree.
+	SwitchLinks [][2]int
+	// EdgeCapacityBps is the capacity of node access links in bytes/sec.
+	EdgeCapacityBps float64
+	// TrunkCapacityBps is the capacity of switch trunk links in bytes/sec.
+	TrunkCapacityBps float64
+	// PerHopLatency is the store-and-forward latency added per switch.
+	PerHopLatency time.Duration
+	// TrunkOverrides customizes individual trunks (capacity and extra
+	// latency) — used for inter-cluster WAN links (see MultiCluster).
+	// Keys must match entries of SwitchLinks (order-insensitive).
+	TrunkOverrides map[[2]int]TrunkSpec
+}
+
+// GigabitBps is 1 Gb/s expressed in bytes/sec.
+const GigabitBps = 125e6
+
+// DefaultIITK returns the paper's testbed shape: 4 switches in a chain,
+// 60 nodes (15 per switch), Gigabit Ethernet everywhere, 50µs per hop.
+// A chain of 4 switches yields node pairs separated by 1-4 switch hops,
+// matching Figure 2(a)'s "1-4 hops" proximity structure.
+func DefaultIITK() Config {
+	return Config{
+		NodesPerSwitch:   []int{15, 15, 15, 15},
+		SwitchLinks:      [][2]int{{0, 1}, {1, 2}, {2, 3}},
+		EdgeCapacityBps:  GigabitBps,
+		TrunkCapacityBps: GigabitBps,
+		PerHopLatency:    50 * time.Microsecond,
+	}
+}
+
+// Topology is an immutable routed switch tree. Node IDs are dense ints
+// 0..NumNodes-1 assigned in switch order, so sequentially numbered nodes
+// are physically close (the paper numbers nodes by proximity).
+type Topology struct {
+	cfg        Config
+	switchOf   []int   // node -> switch
+	nodesAt    [][]int // switch -> nodes
+	switchPath [][][]int
+	capacity   map[LinkID]float64
+	extraLat   map[LinkID]time.Duration
+}
+
+// New validates cfg and builds the topology, precomputing switch-to-switch
+// routes.
+func New(cfg Config) (*Topology, error) {
+	ns := len(cfg.NodesPerSwitch)
+	if ns == 0 {
+		return nil, fmt.Errorf("topology: no switches")
+	}
+	if cfg.EdgeCapacityBps <= 0 || cfg.TrunkCapacityBps <= 0 {
+		return nil, fmt.Errorf("topology: link capacities must be positive")
+	}
+	if cfg.PerHopLatency < 0 {
+		return nil, fmt.Errorf("topology: negative per-hop latency")
+	}
+	if len(cfg.SwitchLinks) != ns-1 {
+		return nil, fmt.Errorf("topology: a tree of %d switches needs %d trunk links, got %d",
+			ns, ns-1, len(cfg.SwitchLinks))
+	}
+	adj := make([][]int, ns)
+	for _, l := range cfg.SwitchLinks {
+		a, b := l[0], l[1]
+		if a < 0 || a >= ns || b < 0 || b >= ns || a == b {
+			return nil, fmt.Errorf("topology: invalid trunk link %v", l)
+		}
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+	t := &Topology{
+		cfg:      cfg,
+		nodesAt:  make([][]int, ns),
+		capacity: make(map[LinkID]float64),
+		extraLat: make(map[LinkID]time.Duration),
+	}
+	node := 0
+	for s, count := range cfg.NodesPerSwitch {
+		if count < 0 {
+			return nil, fmt.Errorf("topology: switch %d has negative node count", s)
+		}
+		for i := 0; i < count; i++ {
+			t.switchOf = append(t.switchOf, s)
+			t.nodesAt[s] = append(t.nodesAt[s], node)
+			t.capacity[EdgeLink(node, s)] = cfg.EdgeCapacityBps
+			node++
+		}
+	}
+	for _, l := range cfg.SwitchLinks {
+		t.capacity[TrunkLink(l[0], l[1])] = cfg.TrunkCapacityBps
+	}
+	for key, spec := range cfg.TrunkOverrides {
+		link := TrunkLink(key[0], key[1])
+		if _, ok := t.capacity[link]; !ok {
+			return nil, fmt.Errorf("topology: trunk override %v does not match any switch link", key)
+		}
+		if spec.CapacityBps < 0 || spec.ExtraLatency < 0 {
+			return nil, fmt.Errorf("topology: trunk override %v has negative values", key)
+		}
+		if spec.CapacityBps > 0 {
+			t.capacity[link] = spec.CapacityBps
+		}
+		if spec.ExtraLatency > 0 {
+			t.extraLat[link] = spec.ExtraLatency
+		}
+	}
+	// Precompute the unique tree path between every switch pair via BFS.
+	t.switchPath = make([][][]int, ns)
+	for src := 0; src < ns; src++ {
+		t.switchPath[src] = make([][]int, ns)
+		parent := make([]int, ns)
+		seen := make([]bool, ns)
+		queue := []int{src}
+		seen[src] = true
+		parent[src] = -1
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, nxt := range adj[cur] {
+				if !seen[nxt] {
+					seen[nxt] = true
+					parent[nxt] = cur
+					queue = append(queue, nxt)
+				}
+			}
+		}
+		for dst := 0; dst < ns; dst++ {
+			if !seen[dst] {
+				return nil, fmt.Errorf("topology: switch graph is not connected (switch %d unreachable from %d)", dst, src)
+			}
+			var rev []int
+			for cur := dst; cur != -1; cur = parent[cur] {
+				rev = append(rev, cur)
+			}
+			path := make([]int, len(rev))
+			for i, s := range rev {
+				path[len(rev)-1-i] = s
+			}
+			t.switchPath[src][dst] = path
+		}
+	}
+	return t, nil
+}
+
+// NumNodes returns the number of compute nodes.
+func (t *Topology) NumNodes() int { return len(t.switchOf) }
+
+// NumSwitches returns the number of switches.
+func (t *Topology) NumSwitches() int { return len(t.nodesAt) }
+
+// SwitchOf returns the switch a node is attached to.
+func (t *Topology) SwitchOf(node int) int { return t.switchOf[node] }
+
+// NodesAt returns the nodes attached to switch s (shared slice; do not
+// modify).
+func (t *Topology) NodesAt(s int) []int { return t.nodesAt[s] }
+
+// Hops returns the number of switches on the path between nodes u and v:
+// 1 when they share a switch, up to the tree diameter otherwise. Hops from
+// a node to itself is 0.
+func (t *Topology) Hops(u, v int) int {
+	if u == v {
+		return 0
+	}
+	return len(t.switchPath[t.switchOf[u]][t.switchOf[v]])
+}
+
+// Path returns the ordered links a message from u to v traverses:
+// u's edge link, the trunk links between switches, and v's edge link.
+// For u == v it returns nil (loopback).
+func (t *Topology) Path(u, v int) []LinkID {
+	if u == v {
+		return nil
+	}
+	su, sv := t.switchOf[u], t.switchOf[v]
+	sw := t.switchPath[su][sv]
+	links := make([]LinkID, 0, len(sw)+1)
+	links = append(links, EdgeLink(u, su))
+	for i := 0; i+1 < len(sw); i++ {
+		links = append(links, TrunkLink(sw[i], sw[i+1]))
+	}
+	links = append(links, EdgeLink(v, sv))
+	return links
+}
+
+// Capacity returns the capacity in bytes/sec of the given link, or 0 if
+// the link does not exist.
+func (t *Topology) Capacity(l LinkID) float64 { return t.capacity[l] }
+
+// Links returns all links in the topology in unspecified order.
+func (t *Topology) Links() []LinkID {
+	out := make([]LinkID, 0, len(t.capacity))
+	for l := range t.capacity {
+		out = append(out, l)
+	}
+	return out
+}
+
+// BaseLatency returns the zero-load latency between u and v: one
+// PerHopLatency per switch on the path, plus any per-trunk extra latency
+// (WAN links between clusters). Loopback latency is 0.
+func (t *Topology) BaseLatency(u, v int) time.Duration {
+	lat := time.Duration(t.Hops(u, v)) * t.cfg.PerHopLatency
+	if len(t.extraLat) > 0 && u != v {
+		for _, l := range t.Path(u, v) {
+			if extra, ok := t.extraLat[l]; ok {
+				lat += extra
+			}
+		}
+	}
+	return lat
+}
+
+// EdgeCapacityBps returns the configured node access-link capacity.
+func (t *Topology) EdgeCapacityBps() float64 { return t.cfg.EdgeCapacityBps }

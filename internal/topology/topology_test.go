@@ -1,0 +1,207 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func mustIITK(t *testing.T) *Topology {
+	t.Helper()
+	topo, err := New(DefaultIITK())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestDefaultIITKShape(t *testing.T) {
+	topo := mustIITK(t)
+	if topo.NumNodes() != 60 {
+		t.Fatalf("nodes = %d, want 60", topo.NumNodes())
+	}
+	if topo.NumSwitches() != 4 {
+		t.Fatalf("switches = %d, want 4", topo.NumSwitches())
+	}
+	for s := 0; s < 4; s++ {
+		if got := len(topo.NodesAt(s)); got != 15 {
+			t.Fatalf("switch %d has %d nodes", s, got)
+		}
+	}
+}
+
+func TestHops(t *testing.T) {
+	topo := mustIITK(t)
+	if h := topo.Hops(0, 0); h != 0 {
+		t.Fatalf("self hops = %d", h)
+	}
+	if h := topo.Hops(0, 1); h != 1 {
+		t.Fatalf("same-switch hops = %d", h)
+	}
+	// Chain 0-1-2-3: node on switch 0 to node on switch 3 crosses 4 switches.
+	if h := topo.Hops(0, 59); h != 4 {
+		t.Fatalf("cross-chain hops = %d", h)
+	}
+	if h := topo.Hops(0, 16); h != 2 {
+		t.Fatalf("adjacent-switch hops = %d", h)
+	}
+}
+
+func TestHopsSymmetric(t *testing.T) {
+	topo := mustIITK(t)
+	f := func(a, b uint8) bool {
+		u, v := int(a)%60, int(b)%60
+		return topo.Hops(u, v) == topo.Hops(v, u)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathEndpoints(t *testing.T) {
+	topo := mustIITK(t)
+	f := func(a, b uint8) bool {
+		u, v := int(a)%60, int(b)%60
+		path := topo.Path(u, v)
+		if u == v {
+			return path == nil
+		}
+		if len(path) < 2 {
+			return false
+		}
+		first, last := path[0], path[len(path)-1]
+		if first.Kind != "edge" || first.A != u {
+			return false
+		}
+		if last.Kind != "edge" || last.A != v {
+			return false
+		}
+		// Trunk count = hops - 1.
+		trunks := 0
+		for _, l := range path {
+			if l.Kind == "trunk" {
+				trunks++
+			}
+		}
+		return trunks == topo.Hops(u, v)-1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathLinksHaveCapacity(t *testing.T) {
+	topo := mustIITK(t)
+	for _, pair := range [][2]int{{0, 1}, {0, 59}, {14, 15}, {30, 45}} {
+		for _, l := range topo.Path(pair[0], pair[1]) {
+			if topo.Capacity(l) <= 0 {
+				t.Fatalf("link %v on path %v has no capacity", l, pair)
+			}
+		}
+	}
+}
+
+func TestLinkCount(t *testing.T) {
+	topo := mustIITK(t)
+	// 60 edge links + 3 trunks.
+	if got := len(topo.Links()); got != 63 {
+		t.Fatalf("link count = %d, want 63", got)
+	}
+}
+
+func TestBaseLatencyScalesWithHops(t *testing.T) {
+	topo := mustIITK(t)
+	same := topo.BaseLatency(0, 1)
+	far := topo.BaseLatency(0, 59)
+	if far != 4*same {
+		t.Fatalf("latency 1 hop %v vs 4 hops %v", same, far)
+	}
+	if topo.BaseLatency(3, 3) != 0 {
+		t.Fatal("self latency nonzero")
+	}
+}
+
+func TestSwitchOf(t *testing.T) {
+	topo := mustIITK(t)
+	if topo.SwitchOf(0) != 0 || topo.SwitchOf(14) != 0 {
+		t.Fatal("first 15 nodes should be on switch 0")
+	}
+	if topo.SwitchOf(15) != 1 || topo.SwitchOf(59) != 3 {
+		t.Fatal("switch assignment wrong")
+	}
+}
+
+func TestTrunkLinkCanonical(t *testing.T) {
+	if TrunkLink(3, 1) != TrunkLink(1, 3) {
+		t.Fatal("TrunkLink not order-insensitive")
+	}
+	l := TrunkLink(2, 1)
+	if l.A != 1 || l.B != 2 {
+		t.Fatalf("TrunkLink order = %+v", l)
+	}
+}
+
+func TestLinkIDString(t *testing.T) {
+	if s := EdgeLink(3, 0).String(); s != "edge:3-0" {
+		t.Fatalf("EdgeLink string = %q", s)
+	}
+	if s := TrunkLink(0, 1).String(); s != "trunk:0-1" {
+		t.Fatalf("TrunkLink string = %q", s)
+	}
+}
+
+func TestStarTopology(t *testing.T) {
+	// 1 core switch with no nodes + 3 leaves: star configuration.
+	cfg := Config{
+		NodesPerSwitch:   []int{0, 4, 4, 4},
+		SwitchLinks:      [][2]int{{0, 1}, {0, 2}, {0, 3}},
+		EdgeCapacityBps:  GigabitBps,
+		TrunkCapacityBps: GigabitBps,
+		PerHopLatency:    50 * time.Microsecond,
+	}
+	topo, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumNodes() != 12 {
+		t.Fatalf("nodes = %d", topo.NumNodes())
+	}
+	// Leaf-to-leaf crosses 3 switches (leaf, core, leaf).
+	if h := topo.Hops(0, 4); h != 3 {
+		t.Fatalf("star cross hops = %d", h)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	base := DefaultIITK()
+	cases := map[string]func(Config) Config{
+		"no switches":    func(c Config) Config { c.NodesPerSwitch = nil; return c },
+		"zero capacity":  func(c Config) Config { c.EdgeCapacityBps = 0; return c },
+		"neg latency":    func(c Config) Config { c.PerHopLatency = -time.Second; return c },
+		"too many links": func(c Config) Config { c.SwitchLinks = append(c.SwitchLinks, [2]int{0, 2}); return c },
+		"self link":      func(c Config) Config { c.SwitchLinks[0] = [2]int{1, 1}; return c },
+		"bad link index": func(c Config) Config { c.SwitchLinks[0] = [2]int{0, 9}; return c },
+		"neg node count": func(c Config) Config { c.NodesPerSwitch[0] = -1; return c },
+		"disconnected":   func(c Config) Config { c.SwitchLinks = [][2]int{{0, 1}, {0, 1}, {2, 3}}; return c },
+		"zero trunk cap": func(c Config) Config { c.TrunkCapacityBps = 0; return c },
+	}
+	for name, mut := range cases {
+		cfg := mut(cloneConfig(base))
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s: validation passed", name)
+		}
+	}
+}
+
+func cloneConfig(c Config) Config {
+	c.NodesPerSwitch = append([]int(nil), c.NodesPerSwitch...)
+	c.SwitchLinks = append([][2]int(nil), c.SwitchLinks...)
+	return c
+}
+
+func TestCapacityUnknownLink(t *testing.T) {
+	topo := mustIITK(t)
+	if c := topo.Capacity(EdgeLink(99, 99)); c != 0 {
+		t.Fatalf("unknown link capacity = %g", c)
+	}
+}

@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestRecordAndRead(t *testing.T) {
+	r := NewRecorder()
+	r.Record("load", "", t0, 1)
+	r.Record("load", "", t0.Add(time.Second), 2)
+	r.Record("bw", "MB/s", t0, 100)
+	s := r.Series("load")
+	if s == nil || len(s.Points) != 2 || s.Points[1].V != 2 {
+		t.Fatalf("series %+v", s)
+	}
+	if names := r.Names(); len(names) != 2 || names[0] != "load" || names[1] != "bw" {
+		t.Fatalf("names %v", names)
+	}
+	if r.Series("ghost") != nil {
+		t.Fatal("ghost series")
+	}
+}
+
+func TestSeriesCopyIsolation(t *testing.T) {
+	r := NewRecorder()
+	r.Record("x", "", t0, 1)
+	s := r.Series("x")
+	s.Points[0].V = 99
+	if r.Series("x").Points[0].V != 1 {
+		t.Fatal("Series returned aliased storage")
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := &Series{Points: []Point{{t0, 2}, {t0, 8}, {t0, 5}}}
+	minV, mean, maxV := s.Stats()
+	if minV != 2 || maxV != 8 || mean != 5 {
+		t.Fatalf("stats %g %g %g", minV, mean, maxV)
+	}
+	var empty Series
+	if a, b, c := empty.Stats(); a != 0 || b != 0 || c != 0 {
+		t.Fatal("empty stats nonzero")
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	s := &Series{Name: "x"}
+	for i := 0; i < 100; i++ {
+		s.Points = append(s.Points, Point{T: t0.Add(time.Duration(i) * time.Second), V: float64(i)})
+	}
+	d := s.Downsample(10)
+	if len(d.Points) != 10 {
+		t.Fatalf("downsampled to %d points", len(d.Points))
+	}
+	// First bucket averages 0..9 = 4.5.
+	if d.Points[0].V != 4.5 {
+		t.Fatalf("first bucket %g", d.Points[0].V)
+	}
+	// Downsampling preserves the overall mean.
+	_, origMean, _ := s.Stats()
+	_, dsMean, _ := d.Stats()
+	if origMean != dsMean {
+		t.Fatalf("mean changed %g -> %g", origMean, dsMean)
+	}
+	// No-op cases.
+	if got := s.Downsample(200); len(got.Points) != 100 {
+		t.Fatalf("upsample changed length: %d", len(got.Points))
+	}
+	if got := s.Downsample(0); len(got.Points) != 100 {
+		t.Fatalf("width 0 changed length: %d", len(got.Points))
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := NewRecorder()
+	r.Record("load", "", t0, 1.5)
+	r.Record("load", "", t0.Add(2*time.Second), 2.5)
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines %v", lines)
+	}
+	if !strings.HasPrefix(lines[0], "series,unit,timestamp,seconds,value") {
+		t.Fatalf("header %q", lines[0])
+	}
+	if !strings.Contains(lines[2], ",2.000,2.5") {
+		t.Fatalf("second sample line %q", lines[2])
+	}
+}
+
+func TestEvents(t *testing.T) {
+	r := NewRecorder()
+	r.Emit(t0.Add(time.Second), "job", "launched #2")
+	r.Emit(t0, "daemon", "crash, latencyd")
+	evs := r.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events %v", evs)
+	}
+	var b strings.Builder
+	if err := r.WriteEventsCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	// Events are sorted by time in the CSV; the comma in the detail is
+	// escaped.
+	if !strings.HasPrefix(lines[1], "daemon,") || !strings.Contains(lines[1], "crash; latencyd") {
+		t.Fatalf("first event line %q", lines[1])
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record("shared", "", t0.Add(time.Duration(i)*time.Millisecond), float64(i))
+				r.Emit(t0, "e", "x")
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(r.Series("shared").Points); got != 800 {
+		t.Fatalf("points %d", got)
+	}
+	if got := len(r.Events()); got != 800 {
+		t.Fatalf("events %d", got)
+	}
+}

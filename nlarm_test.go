@@ -1,0 +1,194 @@
+package nlarm
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// newSim builds a warmed-up simulation (the full 60-node paper testbed).
+func newSim(t *testing.T, seed uint64) *Simulation {
+	t.Helper()
+	sim, err := NewSimulation(SimulationConfig{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sim.Close)
+	sim.WarmUp()
+	return sim
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	sim := newSim(t, 42)
+	resp, err := sim.Allocate(AllocRequest{
+		Procs: 32, PPN: 4, Alpha: 0.3, Beta: 0.7, Policy: PolicyNetLoadAware,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Recommendation != RecommendAllocate {
+		t.Fatalf("recommendation %v", resp.Recommendation)
+	}
+	if len(resp.Nodes) != 8 || len(resp.Hostfile) != 8 {
+		t.Fatalf("nodes=%v hostfile=%v", resp.Nodes, resp.Hostfile)
+	}
+	for _, h := range resp.Hostfile {
+		if !strings.HasPrefix(h, "csews") || !strings.HasSuffix(h, ":4") {
+			t.Fatalf("hostfile entry %q", h)
+		}
+	}
+	res, err := sim.RunMiniMD(MiniMDRun{S: 16, Steps: 50}, resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed <= 0 || res.Ranks != 32 {
+		t.Fatalf("result %+v", res)
+	}
+	if f := res.CommFraction(); f <= 0 || f >= 1 {
+		t.Fatalf("comm fraction %g", f)
+	}
+}
+
+func TestAllFourPolicies(t *testing.T) {
+	sim := newSim(t, 7)
+	for _, pol := range []string{PolicyRandom, PolicySequential, PolicyLoadAware, PolicyNetLoadAware} {
+		resp, err := sim.Allocate(AllocRequest{Procs: 8, PPN: 4, Policy: pol})
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		if resp.Policy != pol {
+			t.Fatalf("requested %s got %s", pol, resp.Policy)
+		}
+	}
+}
+
+func TestRunMiniFE(t *testing.T) {
+	sim := newSim(t, 9)
+	resp, err := sim.Allocate(AllocRequest{Procs: 8, PPN: 4, Alpha: 0.4, Beta: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.RunMiniFE(MiniFERun{NX: 48, Iters: 40}, resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed <= 0 {
+		t.Fatalf("result %+v", res)
+	}
+}
+
+func TestDeterministicSimulations(t *testing.T) {
+	run := func() []int {
+		sim, err := NewSimulation(SimulationConfig{Seed: 1234})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sim.Close()
+		sim.WarmUp()
+		resp, err := sim.Allocate(AllocRequest{Procs: 16, PPN: 4, Alpha: 0.3, Beta: 0.7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.Nodes
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("%v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed chose different nodes: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestAdvanceMovesTime(t *testing.T) {
+	sim := newSim(t, 3)
+	before := sim.Now()
+	sim.Advance(10 * time.Minute)
+	if got := sim.Now().Sub(before); got != 10*time.Minute {
+		t.Fatalf("advanced %v", got)
+	}
+}
+
+func TestSuggestAlphaBetaExported(t *testing.T) {
+	a, b := SuggestAlphaBeta(0.7)
+	if b != 0.7 || a < 0.299 || a > 0.301 {
+		t.Fatalf("SuggestAlphaBeta = %g/%g", a, b)
+	}
+}
+
+func TestPaperWeightsExported(t *testing.T) {
+	w := PaperWeights()
+	if w.CPULoad != 0.3 || w.Bandwidth != 0.75 {
+		t.Fatalf("weights %+v", w)
+	}
+}
+
+func TestNLABeatsRandomOnAverage(t *testing.T) {
+	// The headline claim, smoke-tested: over a few runs of the same job,
+	// the heuristic's mean execution time beats random allocation.
+	sim := newSim(t, 99)
+	var nlaSum, randSum float64
+	const rounds = 3
+	for i := 0; i < rounds; i++ {
+		for _, pol := range []string{PolicyNetLoadAware, PolicyRandom} {
+			resp, err := sim.Allocate(AllocRequest{Procs: 32, PPN: 4, Alpha: 0.3, Beta: 0.7, Policy: pol})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sim.RunMiniMD(MiniMDRun{S: 16, Steps: 40}, resp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pol == PolicyNetLoadAware {
+				nlaSum += res.Elapsed.Seconds()
+			} else {
+				randSum += res.Elapsed.Seconds()
+			}
+			sim.Advance(30 * time.Second)
+		}
+	}
+	if nlaSum >= randSum {
+		t.Fatalf("NLA (%.2fs) did not beat random (%.2fs) over %d rounds", nlaSum, randSum, rounds)
+	}
+}
+
+func TestRunStencil2D(t *testing.T) {
+	sim := newSim(t, 13)
+	resp, err := sim.Allocate(AllocRequest{Procs: 16, PPN: 4, Alpha: 0.5, Beta: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.RunStencil2D(Stencil2DRun{N: 512, Steps: 50}, resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed <= 0 || res.Ranks != 16 {
+		t.Fatalf("result %+v", res)
+	}
+}
+
+func TestBusyClusterLoadOption(t *testing.T) {
+	busy, err := NewSimulation(SimulationConfig{Seed: 5, Load: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer busy.Close()
+	busy.WarmUp()
+	resp, err := busy.Allocate(AllocRequest{Procs: 8, PPN: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Recommendation != RecommendWait {
+		t.Fatalf("Load=40 cluster answered %v (load %g/core)", resp.Recommendation, resp.ClusterLoad)
+	}
+	forcedReq := AllocRequest{Procs: 8, PPN: 4, Force: true}
+	forced, err := busy.Allocate(forcedReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forced.Recommendation != RecommendAllocate {
+		t.Fatal("force did not override wait")
+	}
+}
