@@ -12,8 +12,10 @@ import (
 
 	"nlarm/internal/alloc"
 	"nlarm/internal/harness"
+	"nlarm/internal/metrics"
 	"nlarm/internal/monitor"
 	"nlarm/internal/rng"
+	"nlarm/internal/stats"
 )
 
 // BenchmarkFigure1ResourceTraces regenerates Figure 1 (node resource-usage
@@ -220,6 +222,88 @@ func livehostIDs(n int) []int {
 		ids[i] = i
 	}
 	return ids
+}
+
+// denseBenchSnapshot builds a fully-measured synthetic snapshot of n nodes
+// with varied loads and pairwise measurements, sized for allocator scaling
+// benchmarks (no simulator behind it, so 256 nodes builds instantly).
+func denseBenchSnapshot(n int, seed uint64) *metrics.Snapshot {
+	r := rng.New(seed)
+	taken := time.Date(2020, 3, 2, 8, 0, 0, 0, time.UTC)
+	snap := &metrics.Snapshot{
+		Taken:     taken,
+		Nodes:     make(map[int]metrics.NodeAttrs, n),
+		Latency:   make(map[metrics.PairKey]metrics.PairLatency, n*n/2),
+		Bandwidth: make(map[metrics.PairKey]metrics.PairBandwidth, n*n/2),
+	}
+	for i := 0; i < n; i++ {
+		snap.Livehosts = append(snap.Livehosts, i)
+		load := r.Range(0, 8)
+		na := metrics.NodeAttrs{
+			NodeID: i, Hostname: "bench", Timestamp: taken,
+			Cores: 12, FreqGHz: 4.6, TotalMemMB: 16384,
+		}
+		na.CPULoad = stats.Windowed{M1: load, M5: load, M15: load}
+		na.CPUUtilPct = stats.Windowed{M1: load * 8, M5: load * 8, M15: load * 8}
+		na.FlowRateBps = stats.Windowed{M1: r.Range(1e5, 1e8), M5: 1e6, M15: 1e6}
+		na.AvailMemMB = stats.Windowed{M1: r.Range(2000, 15000), M5: 12000, M15: 12000}
+		snap.Nodes[i] = na
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			key := metrics.Pair(i, j)
+			lat := time.Duration(80+r.Intn(400)) * time.Microsecond
+			snap.Latency[key] = metrics.PairLatency{
+				U: i, V: j, Timestamp: taken, Last: lat, Mean1: lat,
+			}
+			snap.Bandwidth[key] = metrics.PairBandwidth{
+				U: i, V: j, Timestamp: taken,
+				AvailBps: r.Range(10e6, 120e6), PeakBps: 125e6,
+			}
+		}
+	}
+	return snap
+}
+
+// benchmarkAllocateN measures the full net-load-aware heuristic at cluster
+// size n (the allocator hot path the paper prices at ~1-2 ms, §3.3.2).
+func benchmarkAllocateN(b *testing.B, n int) {
+	snap := denseBenchSnapshot(n, 42)
+	req := alloc.Request{Procs: n / 2, PPN: 2, Alpha: 0.3, Beta: 0.7}
+	r := rng.New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (alloc.NetLoadAware{}).Allocate(snap, req, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAllocate32Nodes(b *testing.B)  { benchmarkAllocateN(b, 32) }
+func BenchmarkAllocate128Nodes(b *testing.B) { benchmarkAllocateN(b, 128) }
+func BenchmarkAllocate256Nodes(b *testing.B) { benchmarkAllocateN(b, 256) }
+
+// BenchmarkBrokerRepeatAllocate measures back-to-back broker requests
+// against an unchanged monitoring view — the case the broker's
+// fingerprint-keyed cost-model cache exists for. Virtual time is frozen
+// between iterations, so every request after the first re-prices nothing
+// and the reported cache-hit-ratio should approach 1.
+func BenchmarkBrokerRepeatAllocate(b *testing.B) {
+	sim := benchSnapshot(b)
+	req := AllocRequest{Procs: 32, PPN: 2, Alpha: 0.3, Beta: 0.7}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Allocate(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	hits, misses := sim.Harness.Broker.ModelCacheStats()
+	if hits+misses > 0 {
+		b.ReportMetric(float64(hits)/float64(hits+misses), "cache-hit-ratio")
+	}
 }
 
 // BenchmarkSimulatedDayOfMonitoring measures how fast the whole stack

@@ -176,6 +176,31 @@ func TestEffectiveProcsEquation3(t *testing.T) {
 	}
 }
 
+func TestEffectiveProcsZeroCores(t *testing.T) {
+	// Regression: a node publishing Cores == 0 (or a garbage negative
+	// count) used to panic Equation 3 with an integer mod by zero. Such a
+	// node is treated as having exactly one process slot.
+	for _, cores := range []int{0, -3} {
+		na := metrics.NodeAttrs{Cores: cores}
+		for _, load := range []float64{0, 0.5, 7, 100} {
+			na.CPULoad.M1 = load
+			if got := EffectiveProcs(na, 0); got != 1 {
+				t.Errorf("EffectiveProcs(cores=%d, load=%g) = %d, want 1", cores, load, got)
+			}
+		}
+		// An explicit ppn still wins.
+		if got := EffectiveProcs(na, 4); got != 4 {
+			t.Errorf("EffectiveProcs(cores=%d, ppn=4) = %d, want 4", cores, got)
+		}
+	}
+	// A negative load (corrupt measurement) must not panic either.
+	na := metrics.NodeAttrs{Cores: 8}
+	na.CPULoad.M1 = -2.5
+	if got := EffectiveProcs(na, 0); got != 8 {
+		t.Errorf("EffectiveProcs(cores=8, load=-2.5) = %d, want 8", got)
+	}
+}
+
 func TestEffectiveProcsAlwaysPositive(t *testing.T) {
 	na := metrics.NodeAttrs{Cores: 8}
 	for load := 0.0; load < 40; load += 0.7 {

@@ -31,6 +31,28 @@ func (Random) Allocate(snap *metrics.Snapshot, req Request, r *rng.Rand) (Alloca
 	return Allocation{Policy: "random", Nodes: nodes, Procs: procs}, nil
 }
 
+// AllocateModel implements ModelPolicy. Random selection needs only the
+// model's index set and capacities — the dense view costs nothing here,
+// but sharing it keeps the broker's dispatch uniform.
+func (Random) AllocateModel(m *CostModel, req Request, r *rng.Rand) (Allocation, error) {
+	req, err := req.Validate()
+	if err != nil {
+		return Allocation{}, err
+	}
+	n := m.Len()
+	if n == 0 {
+		return Allocation{}, fmt.Errorf("alloc: random: no live monitored nodes")
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	used, counts := fillIdx(order, m.caps(req), req.Procs)
+	nodes, procs := indicesToAllocation(m, used, counts)
+	return Allocation{Policy: "random", Nodes: nodes, Procs: procs}, nil
+}
+
 // Sequential allocation "first selects a random node and adds neighboring
 // nodes (topologically) as required" (§5) — users picking consecutive
 // hostnames. Node IDs order the cluster by physical proximity, so
@@ -57,6 +79,28 @@ func (Sequential) Allocate(snap *metrics.Snapshot, req Request, r *rng.Rand) (Al
 		order = append(order, ids[(start+i)%len(ids)])
 	}
 	nodes, procs := fill(order, capacity(snap, ids, req), req.Procs)
+	return Allocation{Policy: "sequential", Nodes: nodes, Procs: procs}, nil
+}
+
+// AllocateModel implements ModelPolicy. The model's index order is the
+// ascending node-ID order, so a wrapped index scan from a random start
+// is exactly the topological neighbour walk.
+func (Sequential) AllocateModel(m *CostModel, req Request, r *rng.Rand) (Allocation, error) {
+	req, err := req.Validate()
+	if err != nil {
+		return Allocation{}, err
+	}
+	n := m.Len()
+	if n == 0 {
+		return Allocation{}, fmt.Errorf("alloc: sequential: no live monitored nodes")
+	}
+	start := r.Intn(n)
+	order := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		order = append(order, (start+i)%n)
+	}
+	used, counts := fillIdx(order, m.caps(req), req.Procs)
+	nodes, procs := indicesToAllocation(m, used, counts)
 	return Allocation{Policy: "sequential", Nodes: nodes, Procs: procs}, nil
 }
 
@@ -88,4 +132,42 @@ func (LoadAware) Allocate(snap *metrics.Snapshot, req Request, r *rng.Rand) (All
 		total += cl[n]
 	}
 	return Allocation{Policy: "load-aware", Nodes: nodes, Procs: procs, TotalLoad: total}, nil
+}
+
+// AllocateModel implements ModelPolicy: nodes ordered by the model's raw
+// Equation 1 costs, network state ignored.
+func (LoadAware) AllocateModel(m *CostModel, req Request, r *rng.Rand) (Allocation, error) {
+	req, err := req.Validate()
+	if err != nil {
+		return Allocation{}, err
+	}
+	m = modelFor(m, req)
+	if m.Len() == 0 {
+		return Allocation{}, fmt.Errorf("alloc: load-aware: no live monitored nodes")
+	}
+	if err := m.CLErr(); err != nil {
+		return Allocation{}, err
+	}
+	order := sortIdxByCost(m.CL)
+	used, counts := fillIdx(order, m.caps(req), req.Procs)
+	nodes, procs := indicesToAllocation(m, used, counts)
+	total := 0.0
+	for _, i := range used {
+		total += m.CL[i]
+	}
+	return Allocation{Policy: "load-aware", Nodes: nodes, Procs: procs, TotalLoad: total}, nil
+}
+
+// indicesToAllocation maps dense fill results back to node IDs.
+func indicesToAllocation(m *CostModel, used, counts []int) ([]int, map[int]int) {
+	var nodes []int
+	if len(used) > 0 {
+		nodes = make([]int, len(used))
+	}
+	procs := make(map[int]int, len(used))
+	for k, i := range used {
+		nodes[k] = m.IDs[i]
+		procs[m.IDs[i]] = counts[k]
+	}
+	return nodes, procs
 }

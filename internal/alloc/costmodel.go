@@ -1,0 +1,431 @@
+package alloc
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nlarm/internal/metrics"
+	"nlarm/internal/stats"
+)
+
+// CostModel is the dense, index-contiguous view of one snapshot's
+// Equation 1/2 costs. Live monitored node IDs are remapped once to
+// 0..n-1 (index order == ascending ID order), compute loads live in a
+// plain []float64 and network loads in a flat n×n matrix, so the
+// allocation hot path (Algorithms 1-2 over every start node) runs on
+// cache-friendly slices instead of hashing map keys per lookup.
+//
+// The model is immutable after construction and safe to share across
+// goroutines and across back-to-back allocations against the same
+// snapshot (the broker caches it keyed by snapshot fingerprint, weights,
+// and forecast flag).
+//
+// CL/NL construction can fail independently (e.g. a snapshot with no
+// pairwise measurements still supports the random and sequential
+// policies, which never price the network). Failures are recorded per
+// metric and surfaced by the policies that need that metric.
+type CostModel struct {
+	// Snap is the snapshot the model was derived from.
+	Snap *metrics.Snapshot
+	// Weights and Forecast record the pricing inputs (cache key parts).
+	Weights  Weights
+	Forecast bool
+	// Taken mirrors Snap.Taken for cache bookkeeping.
+	Taken time.Time
+
+	// IDs maps index -> node ID, ascending (MonitoredLivehosts order).
+	IDs []int
+	idx map[int]int
+
+	// CL holds raw Equation 1 costs by index; CLUnit is the mean-1
+	// rescaled copy used by Algorithm 1 (see RescaleMeanNode).
+	CL     []float64
+	CLUnit []float64
+	// NL holds raw Equation 2 costs as a flat n×n symmetric matrix
+	// (NL[i*n+j]; diagonal zero); NLUnit is the mean-1 rescaled copy.
+	NL     []float64
+	NLUnit []float64
+
+	// Cores and LoadM1 are the dense inputs of Equation 3 so capacity
+	// evaluation needs no snapshot map lookups.
+	Cores  []int
+	LoadM1 []float64
+
+	clErr error
+	nlErr error
+}
+
+// NewCostModel derives the dense cost model from snap: the ID->index
+// remap, Equation 1 costs over all live monitored nodes, Equation 2
+// costs over all pairs, and their mean-1 rescaled copies. Construction
+// itself never fails; metric-specific failures are reported by CLErr and
+// NLErr so policies that do not need the failing metric keep working.
+func NewCostModel(snap *metrics.Snapshot, w Weights, useForecast bool) *CostModel {
+	ids := MonitoredLivehosts(snap)
+	n := len(ids)
+	m := &CostModel{
+		Snap:     snap,
+		Weights:  w,
+		Forecast: useForecast,
+		Taken:    snap.Taken,
+		IDs:      ids,
+		idx:      make(map[int]int, n),
+		Cores:    make([]int, n),
+		LoadM1:   make([]float64, n),
+	}
+	for i, id := range ids {
+		m.idx[id] = i
+		na := snap.Nodes[id]
+		m.Cores[i] = na.Cores
+		m.LoadM1[i] = na.CPULoad.M1
+	}
+	m.CL, m.clErr = computeLoadsDense(snap, ids, w, useForecast)
+	if m.clErr == nil && n > 0 {
+		m.CLUnit = append([]float64(nil), m.CL...)
+		rescaleMeanDense(m.CLUnit)
+	}
+	m.NL, m.nlErr = networkLoadsDense(snap, ids, w)
+	if m.nlErr == nil && n > 0 {
+		m.NLUnit = append([]float64(nil), m.NL...)
+		rescaleMeanPairDense(m.NLUnit, n)
+	}
+	return m
+}
+
+// Len returns the number of live monitored nodes in the model.
+func (m *CostModel) Len() int { return len(m.IDs) }
+
+// IndexOf returns the dense index of node id.
+func (m *CostModel) IndexOf(id int) (int, bool) {
+	i, ok := m.idx[id]
+	return i, ok
+}
+
+// CLErr reports whether Equation 1 costs are available.
+func (m *CostModel) CLErr() error { return m.clErr }
+
+// NLErr reports whether Equation 2 costs are available.
+func (m *CostModel) NLErr() error { return m.nlErr }
+
+// NetLoad returns the raw Equation 2 cost between indices i and j.
+func (m *CostModel) NetLoad(i, j int) float64 { return m.NL[i*len(m.IDs)+j] }
+
+// effProcs is Equation 3 on dense inputs; see EffectiveProcs. A node
+// publishing a non-positive core count is treated as having one slot
+// (the paper's formula would divide by zero).
+func effProcs(cores int, loadM1 float64, ppn int) int {
+	if ppn > 0 {
+		return ppn
+	}
+	if cores <= 0 {
+		return 1
+	}
+	load := int(math.Ceil(loadM1))
+	if load < 0 {
+		load = 0
+	}
+	return cores - load%cores
+}
+
+// caps evaluates Equation 3 for every node under the request.
+func (m *CostModel) caps(req Request) []int {
+	caps := make([]int, len(m.IDs))
+	for i := range caps {
+		caps[i] = effProcs(m.Cores[i], m.LoadM1[i], req.PPN)
+	}
+	return caps
+}
+
+// matches reports whether the model was priced with the request's
+// weights and forecast flag (guard against stale cache handoffs).
+func (m *CostModel) matches(req Request) bool {
+	return m.Weights == req.Weights && m.Forecast == req.UseForecast
+}
+
+// modelFor returns m when it matches the validated request, otherwise
+// rebuilds from the model's snapshot (callers hand the broker's cached
+// model straight through; a mismatch means the cache key was wrong).
+func modelFor(m *CostModel, req Request) *CostModel {
+	if m.matches(req) {
+		return m
+	}
+	return NewCostModel(m.Snap, req.Weights, req.UseForecast)
+}
+
+// computeLoadsDense evaluates Equation 1 for ids (in the given order)
+// and returns the SAW costs indexed positionally — the dense core behind
+// ComputeLoadsOpt.
+func computeLoadsDense(snap *metrics.Snapshot, ids []int, w Weights, useForecast bool) ([]float64, error) {
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	attrs := []stats.Attribute{
+		{Name: "cpu_load", Weight: w.CPULoad, Criterion: stats.Minimize},
+		{Name: "cpu_util", Weight: w.CPUUtil, Criterion: stats.Minimize},
+		{Name: "flow_rate", Weight: w.FlowRate, Criterion: stats.Minimize},
+		{Name: "avail_mem", Weight: w.AvailMem, Criterion: stats.Maximize},
+		{Name: "cores", Weight: w.Cores, Criterion: stats.Maximize},
+		{Name: "freq", Weight: w.Freq, Criterion: stats.Maximize},
+		{Name: "total_mem", Weight: w.TotalMem, Criterion: stats.Maximize},
+		{Name: "users", Weight: w.Users, Criterion: stats.Minimize},
+	}
+	matrix := make([][]float64, 0, len(ids))
+	for _, id := range ids {
+		na, ok := snap.Nodes[id]
+		if !ok {
+			return nil, fmt.Errorf("alloc: node %d has no published state", id)
+		}
+		cpuLoad := windowAvg(na.CPULoad)
+		flowRate := windowAvg(na.FlowRateBps)
+		if useForecast {
+			if na.CPULoadForecast != nil {
+				cpuLoad = na.CPULoadForecast.Value
+			}
+			if na.FlowRateForecast != nil {
+				flowRate = na.FlowRateForecast.Value
+			}
+		}
+		matrix = append(matrix, []float64{
+			cpuLoad,
+			windowAvg(na.CPUUtilPct),
+			flowRate,
+			windowAvg(na.AvailMemMB),
+			float64(na.Cores),
+			na.FreqGHz,
+			na.TotalMemMB,
+			float64(na.Users),
+		})
+	}
+	costs, err := stats.SAWCosts(attrs, matrix)
+	if err != nil {
+		return nil, fmt.Errorf("alloc: compute loads: %w", err)
+	}
+	return costs, nil
+}
+
+// networkLoadsDense evaluates Equation 2 for every unordered pair of ids
+// (in the given order) and returns a flat symmetric n×n matrix indexed
+// by position — the dense core behind NetworkLoads. Pair terms are
+// accumulated in i<j order, which for sorted ids is exactly the sorted
+// (U,V) order of the map-based path, so normalization sums are
+// bit-identical.
+func networkLoadsDense(snap *metrics.Snapshot, ids []int, w Weights) ([]float64, error) {
+	n := len(ids)
+	npairs := n * (n - 1) / 2
+	out := make([]float64, n*n)
+	if npairs == 0 {
+		return out, nil
+	}
+	// The "peak bandwidth" the paper complements against is the network's
+	// nominal peak — a single constant — so pairs are effectively ranked
+	// by available bandwidth. Using each pair's own bottleneck peak would
+	// make an idle low-capacity path (e.g. a WAN link between clusters)
+	// look as good as an idle local path. Take the best measured peak as
+	// the nominal value.
+	globalPeak := 0.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if _, peak, ok := snap.BandwidthOf(ids[i], ids[j]); ok && peak > globalPeak {
+				globalPeak = peak
+			}
+		}
+	}
+	lat := make([]float64, npairs)
+	cbw := make([]float64, npairs) // complement of available bandwidth
+	known := make([]bool, npairs)
+	worstLat, worstCbw := 0.0, 0.0
+	anyKnown := false
+	k := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			l, okL := snap.LatencyOf(ids[i], ids[j])
+			avail, _, okB := snap.BandwidthOf(ids[i], ids[j])
+			if okL && okB {
+				lat[k] = l.Seconds()
+				c := globalPeak - avail
+				if c < 0 {
+					c = 0
+				}
+				cbw[k] = c
+				known[k] = true
+				anyKnown = true
+				if lat[k] > worstLat {
+					worstLat = lat[k]
+				}
+				if cbw[k] > worstCbw {
+					worstCbw = cbw[k]
+				}
+			}
+			k++
+		}
+	}
+	if !anyKnown {
+		return nil, fmt.Errorf("alloc: no pairwise measurements available for %d nodes", n)
+	}
+	for k := range known {
+		if !known[k] {
+			lat[k] = worstLat
+			cbw[k] = worstCbw
+		}
+	}
+	latN, err := stats.NormalizeSum(lat)
+	if err != nil {
+		return nil, fmt.Errorf("alloc: network loads: %w", err)
+	}
+	cbwN, err := stats.NormalizeSum(cbw)
+	if err != nil {
+		return nil, fmt.Errorf("alloc: network loads: %w", err)
+	}
+	k = 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := w.Latency*latN[k] + w.Bandwidth*cbwN[k]
+			out[i*n+j] = v
+			out[j*n+i] = v
+			k++
+		}
+	}
+	return out, nil
+}
+
+// rescaleMeanDense rescales xs to mean 1 in place. Dense iteration order
+// is index order (== sorted node ID order), so the float summation is
+// deterministic without the sorted-key workaround the map-based
+// RescaleMeanNode needs.
+func rescaleMeanDense(xs []float64) {
+	if len(xs) == 0 {
+		return
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	if mean == 0 {
+		return
+	}
+	for i := range xs {
+		xs[i] /= mean
+	}
+}
+
+// rescaleMeanPairDense rescales the flat n×n pair matrix to mean 1 over
+// its distinct (i<j) pairs, accumulating in the same (U,V)-sorted order
+// as RescaleMeanPair.
+func rescaleMeanPairDense(nl []float64, n int) {
+	npairs := n * (n - 1) / 2
+	if npairs == 0 {
+		return
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			sum += nl[i*n+j]
+		}
+	}
+	mean := sum / float64(npairs)
+	if mean == 0 {
+		return
+	}
+	for i := range nl {
+		nl[i] /= mean
+	}
+}
+
+// sortIdxByCost orders the indices 0..len(cost)-1 ascending by cost,
+// breaking ties by index (== by node ID, since index order is ID order).
+// The comparator is a strict total order, so any sorting algorithm
+// yields the same permutation the map-keyed path produced.
+func sortIdxByCost(cost []float64) []int {
+	out := make([]int, len(cost))
+	for i := range out {
+		out[i] = i
+	}
+	slices.SortFunc(out, func(a, b int) int {
+		ca, cb := cost[a], cost[b]
+		switch {
+		case ca < cb:
+			return -1
+		case ca > cb:
+			return 1
+		default:
+			return a - b
+		}
+	})
+	return out
+}
+
+// fillIdx is fill over dense indices: assign procs processes across the
+// ordered indices, each taking up to its capacity, spilling round-robin
+// over the selected indices — identical arithmetic to fill, no maps.
+func fillIdx(order []int, caps []int, procs int) (used []int, counts []int) {
+	remaining := procs
+	for _, i := range order {
+		if remaining <= 0 {
+			break
+		}
+		take := caps[i]
+		if take > remaining {
+			take = remaining
+		}
+		if take <= 0 {
+			continue
+		}
+		used = append(used, i)
+		counts = append(counts, take)
+		remaining -= take
+	}
+	for remaining > 0 && len(used) > 0 {
+		for k := range used {
+			if remaining == 0 {
+				break
+			}
+			counts[k]++
+			remaining--
+		}
+	}
+	return used, counts
+}
+
+// minParallelStarts is the candidate count below which the worker pool
+// is not worth its goroutine overhead and generation stays sequential.
+const minParallelStarts = 16
+
+// parallelFor runs f(i) for every i in [0, n) across a bounded
+// GOMAXPROCS-sized worker pool. Each index runs exactly once; f must
+// only write state owned by its own index (the callers write into
+// pre-assigned slice slots, keeping results bit-identical to a
+// sequential loop). Small n runs inline.
+func parallelFor(n int, f func(int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < minParallelStarts {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -8,8 +8,6 @@
 package alloc
 
 import (
-	"fmt"
-	"math"
 	"sort"
 	"time"
 
@@ -77,50 +75,16 @@ func ComputeLoads(snap *metrics.Snapshot, ids []int, w Weights) (map[int]float64
 // data-flow-rate attributes are priced at their predicted next values
 // instead of the windowed means — ranking nodes by where their load is
 // *going* (§2's Network Weather Service idea applied to Equation 1).
+//
+// This is the map-keyed compatibility view; the allocation hot path
+// works on the dense CostModel instead.
 func ComputeLoadsOpt(snap *metrics.Snapshot, ids []int, w Weights, useForecast bool) (map[int]float64, error) {
 	if len(ids) == 0 {
 		return map[int]float64{}, nil
 	}
-	attrs := []stats.Attribute{
-		{Name: "cpu_load", Weight: w.CPULoad, Criterion: stats.Minimize},
-		{Name: "cpu_util", Weight: w.CPUUtil, Criterion: stats.Minimize},
-		{Name: "flow_rate", Weight: w.FlowRate, Criterion: stats.Minimize},
-		{Name: "avail_mem", Weight: w.AvailMem, Criterion: stats.Maximize},
-		{Name: "cores", Weight: w.Cores, Criterion: stats.Maximize},
-		{Name: "freq", Weight: w.Freq, Criterion: stats.Maximize},
-		{Name: "total_mem", Weight: w.TotalMem, Criterion: stats.Maximize},
-		{Name: "users", Weight: w.Users, Criterion: stats.Minimize},
-	}
-	matrix := make([][]float64, 0, len(ids))
-	for _, id := range ids {
-		na, ok := snap.Nodes[id]
-		if !ok {
-			return nil, fmt.Errorf("alloc: node %d has no published state", id)
-		}
-		cpuLoad := windowAvg(na.CPULoad)
-		flowRate := windowAvg(na.FlowRateBps)
-		if useForecast {
-			if na.CPULoadForecast != nil {
-				cpuLoad = na.CPULoadForecast.Value
-			}
-			if na.FlowRateForecast != nil {
-				flowRate = na.FlowRateForecast.Value
-			}
-		}
-		matrix = append(matrix, []float64{
-			cpuLoad,
-			windowAvg(na.CPUUtilPct),
-			flowRate,
-			windowAvg(na.AvailMemMB),
-			float64(na.Cores),
-			na.FreqGHz,
-			na.TotalMemMB,
-			float64(na.Users),
-		})
-	}
-	costs, err := stats.SAWCosts(attrs, matrix)
+	costs, err := computeLoadsDense(snap, ids, w, useForecast)
 	if err != nil {
-		return nil, fmt.Errorf("alloc: compute loads: %w", err)
+		return nil, err
 	}
 	out := make(map[int]float64, len(ids))
 	for i, id := range ids {
@@ -135,73 +99,23 @@ func ComputeLoadsOpt(snap *metrics.Snapshot, ids []int, w Weights, useForecast b
 // normalization. Pairs with no measurement are priced at the worst
 // observed latency and complement-bandwidth (a never-measured link is
 // assumed bad, not free).
+// NetworkLoads is the map-keyed compatibility view over the dense
+// Equation 2 evaluation; the allocation hot path reads the CostModel's
+// flat matrix directly.
 func NetworkLoads(snap *metrics.Snapshot, ids []int, w Weights) (map[metrics.PairKey]float64, error) {
-	var pairs []metrics.PairKey
-	for i := 0; i < len(ids); i++ {
-		for j := i + 1; j < len(ids); j++ {
-			pairs = append(pairs, metrics.Pair(ids[i], ids[j]))
-		}
-	}
-	if len(pairs) == 0 {
+	n := len(ids)
+	if n*(n-1)/2 == 0 {
 		return map[metrics.PairKey]float64{}, nil
 	}
-	// The "peak bandwidth" the paper complements against is the network's
-	// nominal peak — a single constant — so pairs are effectively ranked
-	// by available bandwidth. Using each pair's own bottleneck peak would
-	// make an idle low-capacity path (e.g. a WAN link between clusters)
-	// look as good as an idle local path. Take the best measured peak as
-	// the nominal value.
-	globalPeak := 0.0
-	for _, p := range pairs {
-		if _, peak, ok := snap.BandwidthOf(p.U, p.V); ok && peak > globalPeak {
-			globalPeak = peak
-		}
-	}
-	lat := make([]float64, len(pairs))
-	cbw := make([]float64, len(pairs)) // complement of available bandwidth
-	known := make([]bool, len(pairs))
-	worstLat, worstCbw := 0.0, 0.0
-	anyKnown := false
-	for i, p := range pairs {
-		l, okL := snap.LatencyOf(p.U, p.V)
-		avail, _, okB := snap.BandwidthOf(p.U, p.V)
-		if okL && okB {
-			lat[i] = l.Seconds()
-			c := globalPeak - avail
-			if c < 0 {
-				c = 0
-			}
-			cbw[i] = c
-			known[i] = true
-			anyKnown = true
-			if lat[i] > worstLat {
-				worstLat = lat[i]
-			}
-			if cbw[i] > worstCbw {
-				worstCbw = cbw[i]
-			}
-		}
-	}
-	if !anyKnown {
-		return nil, fmt.Errorf("alloc: no pairwise measurements available for %d nodes", len(ids))
-	}
-	for i := range pairs {
-		if !known[i] {
-			lat[i] = worstLat
-			cbw[i] = worstCbw
-		}
-	}
-	latN, err := stats.NormalizeSum(lat)
+	dense, err := networkLoadsDense(snap, ids, w)
 	if err != nil {
-		return nil, fmt.Errorf("alloc: network loads: %w", err)
+		return nil, err
 	}
-	cbwN, err := stats.NormalizeSum(cbw)
-	if err != nil {
-		return nil, fmt.Errorf("alloc: network loads: %w", err)
-	}
-	out := make(map[metrics.PairKey]float64, len(pairs))
-	for i, p := range pairs {
-		out[p] = w.Latency*latN[i] + w.Bandwidth*cbwN[i]
+	out := make(map[metrics.PairKey]float64, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			out[metrics.Pair(ids[i], ids[j])] = dense[i*n+j]
+		}
 	}
 	return out, nil
 }
@@ -274,16 +188,11 @@ func RescaleMeanPair(costs map[metrics.PairKey]float64) {
 // where Load_v is the node's 1-minute average CPU load. The modulo makes
 // the formula wrap for loads exceeding the core count — we keep the
 // paper's exact arithmetic (it conveniently never yields less than one
-// slot). When ppn > 0 the user's processes-per-node override wins.
+// slot). When ppn > 0 the user's processes-per-node override wins. A
+// node publishing a non-positive core count is treated as having one
+// slot instead of dividing by zero.
 func EffectiveProcs(na metrics.NodeAttrs, ppn int) int {
-	if ppn > 0 {
-		return ppn
-	}
-	load := int(math.Ceil(na.CPULoad.M1))
-	if load < 0 {
-		load = 0
-	}
-	return na.Cores - load%na.Cores
+	return effProcs(na.Cores, na.CPULoad.M1, ppn)
 }
 
 // MonitoredLivehosts returns the snapshot's live nodes that also have

@@ -1,0 +1,267 @@
+package alloc
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"nlarm/internal/metrics"
+	"nlarm/internal/rng"
+	"nlarm/internal/stats"
+)
+
+// refAllocateExplain is a frozen copy of the pre-dense-model heuristic:
+// the map-keyed AllocateExplain exactly as the seed shipped it, kept
+// here as the reference the CostModel/parallel path must match
+// bit-for-bit. Do not "improve" this function — its value is that it
+// never changes.
+func refAllocateExplain(snap *metrics.Snapshot, req Request) (Candidate, []Candidate, error) {
+	req, err := req.Validate()
+	if err != nil {
+		return Candidate{}, nil, err
+	}
+	ids := MonitoredLivehosts(snap)
+	if len(ids) == 0 {
+		return Candidate{}, nil, fmt.Errorf("alloc: net-load-aware: no live monitored nodes")
+	}
+	cl, err := ComputeLoadsOpt(snap, ids, req.Weights, req.UseForecast)
+	if err != nil {
+		return Candidate{}, nil, err
+	}
+	nl, err := NetworkLoads(snap, ids, req.Weights)
+	if err != nil {
+		return Candidate{}, nil, err
+	}
+	RescaleMeanNode(cl)
+	RescaleMeanPair(nl)
+	caps := capacity(snap, ids, req)
+
+	candidates := make([]Candidate, 0, len(ids))
+	for _, v := range ids {
+		candidates = append(candidates, refGenerate(v, ids, cl, nl, caps, req))
+	}
+
+	sumC, sumN := 0.0, 0.0
+	for _, c := range candidates {
+		sumC += c.ComputeCost
+		sumN += c.NetworkCost
+	}
+	bestIdx := -1
+	minTotal := math.Inf(1)
+	for i := range candidates {
+		c := &candidates[i]
+		cNorm, nNorm := 0.0, 0.0
+		if sumC > 0 {
+			cNorm = c.ComputeCost / sumC
+		}
+		if sumN > 0 {
+			nNorm = c.NetworkCost / sumN
+		}
+		c.TotalLoad = req.Alpha*cNorm + req.Beta*nNorm
+		if c.TotalLoad < minTotal {
+			minTotal = c.TotalLoad
+			bestIdx = i
+		}
+	}
+	if bestIdx < 0 {
+		return Candidate{}, nil, fmt.Errorf("alloc: net-load-aware: no candidate produced")
+	}
+	return candidates[bestIdx], candidates, nil
+}
+
+func refGenerate(v int, ids []int, cl map[int]float64, nl map[metrics.PairKey]float64, caps map[int]int, req Request) Candidate {
+	addCost := make(map[int]float64, len(ids))
+	for _, u := range ids {
+		if u == v {
+			addCost[u] = 0
+			continue
+		}
+		addCost[u] = req.Alpha*cl[u] + req.Beta*nl[metrics.Pair(v, u)]
+	}
+	order := sortByCost(ids, addCost)
+	nodes, procs := fill(order, caps, req.Procs)
+
+	cand := Candidate{Start: v, Nodes: nodes, Procs: procs}
+	for _, n := range nodes {
+		cand.ComputeCost += cl[n]
+	}
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			cand.NetworkCost += nl[metrics.Pair(nodes[i], nodes[j])]
+		}
+	}
+	return cand
+}
+
+// randomEquivSnapshot builds a seeded random snapshot with heterogeneous
+// hardware, non-contiguous node IDs, optional forecasts, and a fraction
+// of pair measurements missing (pricing them at the worst observed —
+// both paths must agree there too).
+func randomEquivSnapshot(r *rng.Rand, n int) *metrics.Snapshot {
+	snap := &metrics.Snapshot{
+		Taken:     t0,
+		Nodes:     make(map[int]metrics.NodeAttrs),
+		Latency:   make(map[metrics.PairKey]metrics.PairLatency),
+		Bandwidth: make(map[metrics.PairKey]metrics.PairBandwidth),
+	}
+	var ids []int
+	id := 0
+	for i := 0; i < n; i++ {
+		id += 1 + r.Intn(3) // non-contiguous, unsorted insertion order below
+		ids = append(ids, id)
+	}
+	// Publish livehosts in shuffled order; MonitoredLivehosts re-sorts.
+	order := r.Perm(n)
+	for _, k := range order {
+		nid := ids[k]
+		snap.Livehosts = append(snap.Livehosts, nid)
+		cores := 4 * (1 + r.Intn(4)) // 4..16
+		na := metrics.NodeAttrs{
+			NodeID: nid, Hostname: fmt.Sprintf("n%d", nid), Timestamp: t0,
+			Cores: cores, FreqGHz: r.Range(2.0, 5.0), TotalMemMB: 8192 * float64(1+r.Intn(3)),
+			Users: r.Intn(4),
+		}
+		load := r.Range(0, float64(cores)+4) // sometimes above core count
+		na.CPULoad = stats.Windowed{M1: load, M5: load * r.Range(0.5, 1.5), M15: load * r.Range(0.5, 1.5)}
+		na.CPUUtilPct = stats.Windowed{M1: r.Range(0, 100), M5: r.Range(0, 100), M15: r.Range(0, 100)}
+		na.FlowRateBps = stats.Windowed{M1: r.Range(0, 5e7), M5: r.Range(0, 5e7), M15: r.Range(0, 5e7)}
+		na.AvailMemMB = stats.Windowed{M1: r.Range(1000, na.TotalMemMB), M5: 9000, M15: 9000}
+		if r.Bool(0.5) {
+			na.CPULoadForecast = &metrics.Forecast{Value: r.Range(0, float64(cores)), Method: "ar"}
+		}
+		if r.Bool(0.3) {
+			na.FlowRateForecast = &metrics.Forecast{Value: r.Range(0, 5e7), Method: "mean"}
+		}
+		snap.Nodes[nid] = na
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Bool(0.15) {
+				continue // unmeasured pair: priced at worst observed
+			}
+			key := metrics.Pair(ids[i], ids[j])
+			lat := time.Duration(r.Range(50, 800)) * time.Microsecond
+			peak := r.Range(100e6, 130e6)
+			snap.Latency[key] = metrics.PairLatency{
+				U: key.U, V: key.V, Timestamp: t0, Last: lat, Mean1: lat,
+			}
+			snap.Bandwidth[key] = metrics.PairBandwidth{
+				U: key.U, V: key.V, Timestamp: t0,
+				AvailBps: r.Range(10e6, peak), PeakBps: peak,
+			}
+		}
+	}
+	return snap
+}
+
+// TestAllocateExplainEquivalence proves the dense CostModel + parallel
+// candidate path is bit-identical to the seed's map-keyed sequential
+// path: same best candidate, same candidate ordering, same TotalLoad /
+// ComputeCost / NetworkCost floats, over ≥20 seeded random snapshots
+// varying n, α/β, PPN, and forecast pricing.
+func TestAllocateExplainEquivalence(t *testing.T) {
+	p := NetLoadAware{}
+	alphas := []float64{0, 0.3, 0.5, 0.7, 1}
+	for seed := uint64(1); seed <= 24; seed++ {
+		r := rng.New(seed * 7919)
+		n := 4 + r.Intn(37) // 4..40 nodes
+		snap := randomEquivSnapshot(r, n)
+		alpha := alphas[int(seed)%len(alphas)]
+		req := Request{
+			Procs:       1 + r.Intn(4*n),
+			PPN:         r.Intn(5), // 0..4; 0 = Equation 3 capacity
+			Alpha:       alpha,
+			Beta:        1 - alpha,
+			UseForecast: seed%2 == 0,
+		}
+		wantBest, wantCands, wantErr := refAllocateExplain(snap, req)
+		gotBest, gotCands, gotErr := p.AllocateExplain(snap, req)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("seed %d: error mismatch: ref=%v new=%v", seed, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		if !reflect.DeepEqual(wantBest, gotBest) {
+			t.Errorf("seed %d (n=%d req=%+v): best candidate mismatch:\nref: %+v\nnew: %+v",
+				seed, n, req, wantBest, gotBest)
+		}
+		if !reflect.DeepEqual(wantCands, gotCands) {
+			t.Errorf("seed %d (n=%d): candidate list mismatch (%d vs %d entries)",
+				seed, n, len(wantCands), len(gotCands))
+			for i := range wantCands {
+				if i < len(gotCands) && !reflect.DeepEqual(wantCands[i], gotCands[i]) {
+					t.Errorf("  candidate[%d]:\n  ref: %+v\n  new: %+v", i, wantCands[i], gotCands[i])
+				}
+			}
+		}
+	}
+}
+
+// TestAllocateExplainParallelEquivalence forces the worker-pool branch
+// (GOMAXPROCS > 1 and n ≥ minParallelStarts) and checks the fan-out
+// still matches the reference exactly. Under -race this also exercises
+// the pool for data races.
+func TestAllocateExplainParallelEquivalence(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	p := NetLoadAware{}
+	for seed := uint64(100); seed < 105; seed++ {
+		r := rng.New(seed)
+		n := minParallelStarts + 8 + r.Intn(16)
+		snap := randomEquivSnapshot(r, n)
+		req := Request{Procs: n, PPN: 1 + r.Intn(3), Alpha: 0.4, Beta: 0.6}
+		wantBest, wantCands, err := refAllocateExplain(snap, req)
+		if err != nil {
+			t.Fatalf("seed %d: reference failed: %v", seed, err)
+		}
+		gotBest, gotCands, err := p.AllocateExplain(snap, req)
+		if err != nil {
+			t.Fatalf("seed %d: dense path failed: %v", seed, err)
+		}
+		if !reflect.DeepEqual(wantBest, gotBest) || !reflect.DeepEqual(wantCands, gotCands) {
+			t.Fatalf("seed %d (n=%d): parallel path diverged from reference", seed, n)
+		}
+	}
+}
+
+// TestCostModelMatchesMapViews cross-checks the dense CL/NL arrays
+// against the public map-keyed views on a random snapshot.
+func TestCostModelMatchesMapViews(t *testing.T) {
+	r := rng.New(42)
+	snap := randomEquivSnapshot(r, 17)
+	ids := MonitoredLivehosts(snap)
+	w := PaperWeights()
+	m := NewCostModel(snap, w, false)
+	if m.Len() != len(ids) {
+		t.Fatalf("model has %d nodes, want %d", m.Len(), len(ids))
+	}
+	cl, err := ComputeLoadsOpt(snap, ids, w, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := NetworkLoads(snap, ids, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		if m.IDs[i] != id {
+			t.Fatalf("index %d maps to ID %d, want %d", i, m.IDs[i], id)
+		}
+		if m.CL[i] != cl[id] {
+			t.Errorf("CL[%d] = %v, map says %v", i, m.CL[i], cl[id])
+		}
+	}
+	for i := range ids {
+		for j := i + 1; j < len(ids); j++ {
+			want := nl[metrics.Pair(ids[i], ids[j])]
+			if got := m.NetLoad(i, j); got != want {
+				t.Errorf("NL(%d,%d) = %v, map says %v", ids[i], ids[j], got, want)
+			}
+		}
+	}
+}

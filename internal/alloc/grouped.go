@@ -28,10 +28,11 @@ type GroupedNetLoadAware struct {
 // Name implements Policy.
 func (GroupedNetLoadAware) Name() string { return "grouped-net-load-aware" }
 
-// groupInfo aggregates a group's members and costs.
+// groupInfo aggregates a group's members (as dense model indices) and
+// costs.
 type groupInfo struct {
 	id       int
-	members  []int // sorted by compute load ascending
+	members  []int // dense indices, sorted by compute load ascending
 	capacity int
 	// meanCL is the group's mean per-node compute load.
 	meanCL float64
@@ -48,61 +49,73 @@ func (p GroupedNetLoadAware) Allocate(snap *metrics.Snapshot, req Request, r *rn
 	if err != nil {
 		return Allocation{}, err
 	}
-	ids := MonitoredLivehosts(snap)
-	if len(ids) == 0 {
+	return p.AllocateModel(NewCostModel(snap, req.Weights, req.UseForecast), req, r)
+}
+
+// AllocateModel implements ModelPolicy: the grouped heuristic over the
+// dense indexed view — group aggregation, inter-group network loads, and
+// candidate scoring all read the model's flat slices.
+func (p GroupedNetLoadAware) AllocateModel(m *CostModel, req Request, r *rng.Rand) (Allocation, error) {
+	if p.GroupOf == nil {
+		return Allocation{}, fmt.Errorf("alloc: grouped: GroupOf is required")
+	}
+	req, err := req.Validate()
+	if err != nil {
+		return Allocation{}, err
+	}
+	m = modelFor(m, req)
+	n := m.Len()
+	if n == 0 {
 		return Allocation{}, fmt.Errorf("alloc: grouped: no live monitored nodes")
 	}
-	cl, err := ComputeLoadsOpt(snap, ids, req.Weights, req.UseForecast)
-	if err != nil {
+	if err := m.CLErr(); err != nil {
 		return Allocation{}, err
 	}
-	nl, err := NetworkLoads(snap, ids, req.Weights)
-	if err != nil {
+	if err := m.NLErr(); err != nil {
 		return Allocation{}, err
 	}
-	RescaleMeanNode(cl)
-	RescaleMeanPair(nl)
-	caps := capacity(snap, ids, req)
+	caps := m.caps(req)
 
-	// Partition into groups.
+	// Partition into groups (members are dense indices; index order is
+	// node-ID order, so first-seen group order matches the map path).
 	byGroup := make(map[int]*groupInfo)
 	var groupIDs []int
-	for _, id := range ids {
-		g := p.GroupOf(id)
+	for i := 0; i < n; i++ {
+		g := p.GroupOf(m.IDs[i])
 		gi, ok := byGroup[g]
 		if !ok {
 			gi = &groupInfo{id: g}
 			byGroup[g] = gi
 			groupIDs = append(groupIDs, g)
 		}
-		gi.members = append(gi.members, id)
-		gi.capacity += caps[id]
+		gi.members = append(gi.members, i)
+		gi.capacity += caps[i]
 	}
 	sort.Ints(groupIDs)
 	for _, g := range groupIDs {
 		gi := byGroup[g]
 		sort.Slice(gi.members, func(i, j int) bool {
-			ci, cj := cl[gi.members[i]], cl[gi.members[j]]
+			ci, cj := m.CLUnit[gi.members[i]], m.CLUnit[gi.members[j]]
 			if ci != cj {
 				return ci < cj
 			}
 			return gi.members[i] < gi.members[j]
 		})
 		sum := 0.0
-		for _, m := range gi.members {
-			sum += cl[m]
+		for _, i := range gi.members {
+			sum += m.CLUnit[i]
 		}
 		gi.meanCL = sum / float64(len(gi.members))
-		gi.intraNL = meanPairNL(nl, gi.members, gi.members, true)
+		gi.intraNL = m.meanPairNL(gi.members, gi.members, true)
 	}
 
 	// Inter-group network loads: the mean NL over cross pairs — the
 	// paper's "inter-group bandwidth/latency".
-	interNL := make(map[metrics.PairKey]float64)
+	interNL := make(map[metrics.PairKey]float64, len(groupIDs)*(len(groupIDs)-1)/2)
 	for i := 0; i < len(groupIDs); i++ {
 		for j := i + 1; j < len(groupIDs); j++ {
 			a, b := byGroup[groupIDs[i]], byGroup[groupIDs[j]]
-			interNL[metrics.Pair(groupIDs[i], groupIDs[j])] = meanPairNL(nl, a.members, b.members, false)
+			interNL[metrics.Pair(groupIDs[i], groupIDs[j])] = m.meanPairNL(a.members, b.members, false)
 		}
 	}
 
@@ -151,7 +164,7 @@ func (p GroupedNetLoadAware) Allocate(snap *metrics.Snapshot, req Request, r *rn
 		total := req.Alpha*clSum/float64(nodes) + req.Beta*netSum/float64(netTerms)
 		if best == nil || total < best.total {
 			cand := groupCandidate{start: start, groups: chosen, total: total}
-			a, ok := p.fillGroups(chosen, byGroup, caps, req.Procs)
+			a, ok := p.fillGroups(m, chosen, byGroup, caps, req.Procs)
 			if !ok {
 				continue
 			}
@@ -170,40 +183,43 @@ func (p GroupedNetLoadAware) Allocate(snap *metrics.Snapshot, req Request, r *rn
 // fillGroups takes the chosen groups in order and assigns processes to
 // their least-loaded nodes first, spilling round-robin if capacity runs
 // short.
-func (p GroupedNetLoadAware) fillGroups(groups []int, byGroup map[int]*groupInfo, caps map[int]int, procs int) (Allocation, bool) {
+func (p GroupedNetLoadAware) fillGroups(m *CostModel, groups []int, byGroup map[int]*groupInfo, caps []int, procs int) (Allocation, bool) {
 	var order []int
 	for _, g := range groups {
 		order = append(order, byGroup[g].members...)
 	}
-	nodes, assigned := fill(order, caps, procs)
-	if len(nodes) == 0 {
+	used, counts := fillIdx(order, caps, procs)
+	if len(used) == 0 {
 		return Allocation{}, false
 	}
 	total := 0
-	for _, v := range assigned {
+	for _, v := range counts {
 		total += v
 	}
 	if total < procs {
 		return Allocation{}, false
 	}
+	nodes, assigned := indicesToAllocation(m, used, counts)
 	return Allocation{Nodes: nodes, Procs: assigned}, true
 }
 
-// meanPairNL averages NL over pairs drawn from a×b; when same is true a
-// and b are the same set and only distinct unordered pairs count.
-func meanPairNL(nl map[metrics.PairKey]float64, a, b []int, same bool) float64 {
+// meanPairNL averages the model's NLUnit over pairs drawn from a×b (as
+// dense indices); when same is true a and b are the same set and only
+// distinct unordered pairs count.
+func (m *CostModel) meanPairNL(a, b []int, same bool) float64 {
+	width := len(m.IDs)
 	sum, n := 0.0, 0
 	if same {
 		for i := 0; i < len(a); i++ {
 			for j := i + 1; j < len(a); j++ {
-				sum += nl[metrics.Pair(a[i], a[j])]
+				sum += m.NLUnit[a[i]*width+a[j]]
 				n++
 			}
 		}
 	} else {
 		for _, x := range a {
 			for _, y := range b {
-				sum += nl[metrics.Pair(x, y)]
+				sum += m.NLUnit[x*width+y]
 				n++
 			}
 		}

@@ -51,6 +51,21 @@ func (p NetLoadAware) Allocate(snap *metrics.Snapshot, req Request, r *rng.Rand)
 	}, nil
 }
 
+// AllocateModel implements ModelPolicy: the heuristic over a prebuilt
+// dense cost model (the broker's cached Equation 1/2 evaluation).
+func (p NetLoadAware) AllocateModel(m *CostModel, req Request, r *rng.Rand) (Allocation, error) {
+	best, _, err := p.AllocateExplainModel(m, req)
+	if err != nil {
+		return Allocation{}, err
+	}
+	return Allocation{
+		Policy:    p.Name(),
+		Nodes:     best.Nodes,
+		Procs:     best.Procs,
+		TotalLoad: best.TotalLoad,
+	}, nil
+}
+
 // AllocateExplain runs the full heuristic and additionally returns every
 // candidate sub-graph with its costs (used by the analysis experiment of
 // Figure 7 and by tests).
@@ -59,36 +74,44 @@ func (p NetLoadAware) AllocateExplain(snap *metrics.Snapshot, req Request) (Cand
 	if err != nil {
 		return Candidate{}, nil, err
 	}
-	ids := MonitoredLivehosts(snap)
-	if len(ids) == 0 {
+	return p.AllocateExplainModel(NewCostModel(snap, req.Weights, req.UseForecast), req)
+}
+
+// AllocateExplainModel is AllocateExplain over a prebuilt cost model.
+// Candidate generation (Algorithm 1, one independent greedy sub-graph
+// per start node) fans out across a bounded worker pool; every worker
+// writes its candidate into a pre-assigned slice slot and the scoring
+// pass (Algorithm 2) runs sequentially over the slice, so results are
+// bit-identical to the sequential path.
+func (p NetLoadAware) AllocateExplainModel(m *CostModel, req Request) (Candidate, []Candidate, error) {
+	req, err := req.Validate()
+	if err != nil {
+		return Candidate{}, nil, err
+	}
+	m = modelFor(m, req)
+	n := m.Len()
+	if n == 0 {
 		return Candidate{}, nil, fmt.Errorf("alloc: net-load-aware: no live monitored nodes")
 	}
-	cl, err := ComputeLoadsOpt(snap, ids, req.Weights, req.UseForecast)
-	if err != nil {
+	if err := m.CLErr(); err != nil {
 		return Candidate{}, nil, err
 	}
-	nl, err := NetworkLoads(snap, ids, req.Weights)
-	if err != nil {
+	if err := m.NLErr(); err != nil {
 		return Candidate{}, nil, err
 	}
-	// Bring CL and NL onto a common scale so α/β weight them as intended
-	// (see RescaleMeanNode).
-	RescaleMeanNode(cl)
-	RescaleMeanPair(nl)
-	caps := capacity(snap, ids, req)
+	caps := m.caps(req)
 
 	// Algorithm 1, once per start node: |V| candidates.
-	candidates := make([]Candidate, 0, len(ids))
-	for _, v := range ids {
-		cand := p.generate(v, ids, cl, nl, caps, req)
-		candidates = append(candidates, cand)
-	}
+	candidates := make([]Candidate, n)
+	parallelFor(n, func(v int) {
+		candidates[v] = p.generate(m, v, caps, req)
+	})
 
 	// Algorithm 2: normalize C_G and N_G across candidates, pick min T_G.
 	sumC, sumN := 0.0, 0.0
-	for _, c := range candidates {
-		sumC += c.ComputeCost
-		sumN += c.NetworkCost
+	for i := range candidates {
+		sumC += candidates[i].ComputeCost
+		sumN += candidates[i].NetworkCost
 	}
 	bestIdx := -1
 	minTotal := math.Inf(1)
@@ -113,27 +136,39 @@ func (p NetLoadAware) AllocateExplain(snap *metrics.Snapshot, req Request) (Cand
 	return candidates[bestIdx], candidates, nil
 }
 
-// generate builds the candidate sub-graph seeded at v (Algorithm 1).
-func (p NetLoadAware) generate(v int, ids []int, cl map[int]float64, nl map[metrics.PairKey]float64, caps map[int]int, req Request) Candidate {
+// generate builds the candidate sub-graph seeded at dense index v
+// (Algorithm 1), reading compute loads and the network-load row for v
+// straight out of the model's flat slices.
+func (p NetLoadAware) generate(m *CostModel, v int, caps []int, req Request) Candidate {
+	n := m.Len()
 	// A_v(v) = 0; A_v(u) = α·CL(u) + β·NL(v,u) for u ≠ v.
-	addCost := make(map[int]float64, len(ids))
-	for _, u := range ids {
+	addCost := make([]float64, n)
+	nlRow := m.NLUnit[v*n : (v+1)*n]
+	for u := 0; u < n; u++ {
 		if u == v {
-			addCost[u] = 0
-			continue
+			continue // A_v(v) = 0
 		}
-		addCost[u] = req.Alpha*cl[u] + req.Beta*nl[metrics.Pair(v, u)]
+		addCost[u] = req.Alpha*m.CLUnit[u] + req.Beta*nlRow[u]
 	}
-	order := sortByCost(ids, addCost) // v sorts first with cost 0
-	nodes, procs := fill(order, caps, req.Procs)
+	order := sortIdxByCost(addCost) // v sorts first with cost 0
+	used, counts := fillIdx(order, caps, req.Procs)
 
-	cand := Candidate{Start: v, Nodes: nodes, Procs: procs}
-	for _, n := range nodes {
-		cand.ComputeCost += cl[n]
+	var nodes []int
+	if len(used) > 0 {
+		nodes = make([]int, len(used))
 	}
-	for i := 0; i < len(nodes); i++ {
-		for j := i + 1; j < len(nodes); j++ {
-			cand.NetworkCost += nl[metrics.Pair(nodes[i], nodes[j])]
+	procs := make(map[int]int, len(used))
+	cand := Candidate{Start: m.IDs[v]}
+	for k, i := range used {
+		nodes[k] = m.IDs[i]
+		procs[m.IDs[i]] = counts[k]
+		cand.ComputeCost += m.CLUnit[i]
+	}
+	cand.Nodes = nodes
+	cand.Procs = procs
+	for i := 0; i < len(used); i++ {
+		for j := i + 1; j < len(used); j++ {
+			cand.NetworkCost += m.NLUnit[used[i]*n+used[j]]
 		}
 	}
 	return cand

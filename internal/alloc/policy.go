@@ -96,6 +96,15 @@ type Policy interface {
 	Allocate(snap *metrics.Snapshot, req Request, r *rng.Rand) (Allocation, error)
 }
 
+// ModelPolicy is implemented by policies that can allocate straight from
+// a prebuilt dense CostModel, skipping Equation 1/2 recomputation when
+// the caller (the broker) has already priced the snapshot. Results must
+// be identical to Allocate over the model's snapshot.
+type ModelPolicy interface {
+	Policy
+	AllocateModel(m *CostModel, req Request, r *rng.Rand) (Allocation, error)
+}
+
 // capacity returns each node's process capacity under the request.
 func capacity(snap *metrics.Snapshot, ids []int, req Request) map[int]int {
 	caps := make(map[int]int, len(ids))
@@ -155,11 +164,19 @@ func sortByCost(ids []int, cost map[int]float64) []int {
 	return out
 }
 
-// Compile-time checks that every shipped policy satisfies Policy.
+// Compile-time checks that every shipped policy satisfies Policy, and
+// that all of them also serve from a prebuilt cost model.
 var (
 	_ Policy = Random{}
 	_ Policy = Sequential{}
 	_ Policy = LoadAware{}
 	_ Policy = NetLoadAware{}
 	_ Policy = GroupedNetLoadAware{}
+
+	_ ModelPolicy = Random{}
+	_ ModelPolicy = Sequential{}
+	_ ModelPolicy = LoadAware{}
+	_ ModelPolicy = NetLoadAware{}
+	_ ModelPolicy = GroupedNetLoadAware{}
+	_ ModelPolicy = (*ReservingPolicy)(nil)
 )

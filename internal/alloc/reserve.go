@@ -51,7 +51,54 @@ func (p *ReservingPolicy) Allocate(snap *metrics.Snapshot, req Request, r *rng.R
 	if p.Inner == nil {
 		return Allocation{}, fmt.Errorf("alloc: reserving policy without inner policy")
 	}
+	charged := p.chargedSnapshot(snap)
+	a, err := p.Inner.Allocate(charged, req, r)
+	if err != nil {
+		return Allocation{}, err
+	}
+	p.record(a, snap.Taken)
+	a.Policy = p.Name()
+	return a, nil
+}
+
+// AllocateModel implements ModelPolicy. With no live reservations the
+// prebuilt model passes straight through to the inner policy; otherwise
+// the charged snapshot invalidates it and the inner policy re-prices
+// (reservation charging changes Equation 1 inputs by design).
+func (p *ReservingPolicy) AllocateModel(m *CostModel, req Request, r *rng.Rand) (Allocation, error) {
+	if p.Inner == nil {
+		return Allocation{}, fmt.Errorf("alloc: reserving policy without inner policy")
+	}
+	snap := m.Snap
+	charged := p.chargedSnapshot(snap)
+	var a Allocation
+	var err error
+	inner, ok := p.Inner.(ModelPolicy)
+	if !ok {
+		a, err = p.Inner.Allocate(charged, req, r)
+	} else if charged == snap {
+		a, err = inner.AllocateModel(m, req, r)
+	} else {
+		vreq, verr := req.Validate()
+		if verr != nil {
+			return Allocation{}, verr
+		}
+		a, err = inner.AllocateModel(NewCostModel(charged, vreq.Weights, vreq.UseForecast), req, r)
+	}
+	if err != nil {
+		return Allocation{}, err
+	}
+	p.record(a, snap.Taken)
+	a.Policy = p.Name()
+	return a, nil
+}
+
+// chargedSnapshot prunes expired reservations and charges the live ones
+// onto a copy of snap (snap itself is returned untouched when there is
+// nothing to charge).
+func (p *ReservingPolicy) chargedSnapshot(snap *metrics.Snapshot) *metrics.Snapshot {
 	p.mu.Lock()
+	defer p.mu.Unlock()
 	live := p.reservations[:0]
 	for _, res := range p.reservations {
 		if snap.Taken.Sub(res.at) < p.TTL {
@@ -86,21 +133,19 @@ func (p *ReservingPolicy) Allocate(snap *metrics.Snapshot, req Request, r *rng.R
 			}
 		}
 	}
-	p.mu.Unlock()
+	return charged
+}
 
-	a, err := p.Inner.Allocate(charged, req, r)
-	if err != nil {
-		return Allocation{}, err
-	}
+// record registers a grant as a new reservation stamped at the
+// snapshot's clock.
+func (p *ReservingPolicy) record(a Allocation, at time.Time) {
 	procs := make(map[int]int, len(a.Procs))
 	for n, c := range a.Procs {
 		procs[n] = c
 	}
 	p.mu.Lock()
-	p.reservations = append(p.reservations, reservation{procs: procs, at: snap.Taken})
+	p.reservations = append(p.reservations, reservation{procs: procs, at: at})
 	p.mu.Unlock()
-	a.Policy = p.Name()
-	return a, nil
 }
 
 // Outstanding returns the number of live reservations as of t.

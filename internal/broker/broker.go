@@ -117,6 +117,25 @@ type Broker struct {
 	mu       sync.Mutex
 	rnd      *rng.Rand
 	policies map[string]alloc.Policy
+
+	// Cost-model cache: dense Equation 1/2 evaluations keyed by snapshot
+	// content fingerprint + pricing inputs, so back-to-back Allocate
+	// calls against an unchanged monitoring view skip recomputation. A
+	// fingerprint change (the monitor republished) drops every entry.
+	modelMu     sync.Mutex
+	models      map[modelKey]*alloc.CostModel
+	modelFP     uint64
+	cacheHits   uint64
+	cacheMisses uint64
+}
+
+// modelKey identifies one cached cost model: the snapshot's content
+// fingerprint plus the pricing inputs (attribute weights, forecast
+// flag) the model was built with.
+type modelKey struct {
+	fp       uint64
+	weights  alloc.Weights
+	forecast bool
 }
 
 // New builds a broker reading monitoring data from st, with the standard
@@ -129,6 +148,7 @@ func New(st store.Store, rt simtime.Runtime, cfg Config) *Broker {
 		rt:       rt,
 		rnd:      rng.New(cfg.Seed),
 		policies: make(map[string]alloc.Policy),
+		models:   make(map[modelKey]*alloc.CostModel),
 	}
 	for _, p := range []alloc.Policy{alloc.Random{}, alloc.Sequential{}, alloc.LoadAware{}, alloc.NetLoadAware{}} {
 		b.policies[p.Name()] = p
@@ -158,6 +178,38 @@ func (b *Broker) Policies() []string {
 // Snapshot returns the current consolidated monitoring view.
 func (b *Broker) Snapshot() (*metrics.Snapshot, error) {
 	return monitor.ReadSnapshot(b.st, b.rt.Now())
+}
+
+// costModel returns the dense cost model for snap priced with the given
+// weights and forecast flag, reusing the cached evaluation when the
+// monitoring content is unchanged since it was built. Any change in the
+// snapshot fingerprint (the monitor republished) invalidates the whole
+// cache.
+func (b *Broker) costModel(snap *metrics.Snapshot, w alloc.Weights, forecast bool) *alloc.CostModel {
+	fp := snap.Fingerprint()
+	key := modelKey{fp: fp, weights: w, forecast: forecast}
+	b.modelMu.Lock()
+	defer b.modelMu.Unlock()
+	if fp != b.modelFP {
+		clear(b.models)
+		b.modelFP = fp
+	}
+	if m, ok := b.models[key]; ok {
+		b.cacheHits++
+		return m
+	}
+	m := alloc.NewCostModel(snap, w, forecast)
+	b.models[key] = m
+	b.cacheMisses++
+	return m
+}
+
+// ModelCacheStats reports cost-model cache hits and misses since the
+// broker was built (diagnostic).
+func (b *Broker) ModelCacheStats() (hits, misses uint64) {
+	b.modelMu.Lock()
+	defer b.modelMu.Unlock()
+	return b.cacheHits, b.cacheMisses
 }
 
 // clusterLoadPerCore computes the live cluster's average CPU load per
@@ -216,9 +268,17 @@ func (b *Broker) Allocate(req Request) (Response, error) {
 		Procs: req.Procs, PPN: req.PPN, Alpha: req.Alpha, Beta: req.Beta,
 		UseForecast: req.UseForecast,
 	}
+	validated, err := allocReq.Validate()
+	if err != nil {
+		return Response{}, err
+	}
+	var model *alloc.CostModel
+	if _, ok := pol.(alloc.ModelPolicy); ok {
+		model = b.costModel(snap, validated.Weights, validated.UseForecast)
+	}
 	var a alloc.Allocation
 	if nla, ok := pol.(alloc.NetLoadAware); ok && req.Explain {
-		best, cands, err := nla.AllocateExplain(snap, allocReq)
+		best, cands, err := nla.AllocateExplainModel(model, allocReq)
 		if err != nil {
 			return Response{}, err
 		}
@@ -231,8 +291,12 @@ func (b *Broker) Allocate(req Request) (Response, error) {
 				Chosen:    c.Start == best.Start,
 			})
 		}
+	} else if mp, ok := pol.(alloc.ModelPolicy); ok {
+		a, err = mp.AllocateModel(model, allocReq, r)
+		if err != nil {
+			return Response{}, err
+		}
 	} else {
-		var err error
 		a, err = pol.Allocate(snap, allocReq, r)
 		if err != nil {
 			return Response{}, err

@@ -2,6 +2,7 @@ package broker
 
 import (
 	"net"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -87,6 +88,54 @@ func TestAllocateEachPolicy(t *testing.T) {
 		if resp.Policy != pol {
 			t.Fatalf("asked %s got %s", pol, resp.Policy)
 		}
+	}
+}
+
+func TestCostModelCacheReuse(t *testing.T) {
+	r := newRig(t, 11, loadgen.Config{})
+	req := Request{Procs: 8, PPN: 4, Alpha: 0.3, Beta: 0.7}
+
+	// Frozen virtual time: the store content cannot change between these
+	// calls, so the second request must reuse the first's cost model.
+	first, err := r.b.Allocate(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := r.b.Allocate(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := r.b.ModelCacheStats()
+	if hits < 1 {
+		t.Fatalf("no cache hit on identical back-to-back requests (hits=%d misses=%d)", hits, misses)
+	}
+	if misses != 1 {
+		t.Fatalf("expected exactly one miss (the first build), got %d", misses)
+	}
+	if !reflect.DeepEqual(first.Nodes, second.Nodes) || !reflect.DeepEqual(first.Procs, second.Procs) {
+		t.Fatalf("cached model changed the allocation: %v/%v vs %v/%v",
+			first.Nodes, first.Procs, second.Nodes, second.Procs)
+	}
+
+	// Different pricing inputs share the fingerprint but not the model:
+	// a second key is built (miss), no invalidation.
+	if _, err := r.b.Allocate(Request{Procs: 8, PPN: 4, Alpha: 0.3, Beta: 0.7, UseForecast: true}); err != nil {
+		t.Fatal(err)
+	}
+	_, misses = r.b.ModelCacheStats()
+	if misses != 2 {
+		t.Fatalf("forecast pricing should be a distinct cache entry, got %d misses", misses)
+	}
+
+	// Advancing time republishes monitoring data, changing the snapshot
+	// fingerprint: the cache must invalidate and rebuild.
+	r.sched.RunFor(10 * time.Second)
+	if _, err := r.b.Allocate(req); err != nil {
+		t.Fatal(err)
+	}
+	_, missesAfter := r.b.ModelCacheStats()
+	if missesAfter != 3 {
+		t.Fatalf("republished snapshot should miss the cache, got %d misses", missesAfter)
 	}
 }
 

@@ -7,6 +7,7 @@
 package metrics
 
 import (
+	"math"
 	"time"
 
 	"nlarm/internal/stats"
@@ -124,6 +125,80 @@ func (s *Snapshot) Alive(id int) bool {
 		}
 	}
 	return false
+}
+
+// Fingerprint returns a content hash of the monitoring data in the
+// snapshot — node records, pairwise measurements, and the livehosts
+// list — deliberately excluding Taken. Two snapshots read from an
+// unchanged store at different wall-clock instants hash identically, so
+// consumers (the broker's cost-model cache) can detect "nothing was
+// republished" without comparing every record. Map entries are folded
+// order-independently, so iteration order never changes the hash.
+func (s *Snapshot) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		h ^= v
+		h *= prime64
+	}
+	mix(uint64(len(s.Livehosts)))
+	mix(uint64(len(s.Nodes)))
+	mix(uint64(len(s.Latency)))
+	mix(uint64(len(s.Bandwidth)))
+	for i, id := range s.Livehosts {
+		mix(uint64(i)<<32 ^ uint64(uint32(id)))
+	}
+	var acc uint64
+	for id, na := range s.Nodes {
+		e := uint64(offset64)
+		for _, v := range []uint64{
+			uint64(uint32(id)),
+			uint64(na.Timestamp.UnixNano()),
+			math.Float64bits(na.CPULoad.M1),
+			math.Float64bits(na.FlowRateBps.M1),
+			math.Float64bits(na.AvailMemMB.M1),
+			uint64(uint32(na.Cores)),
+		} {
+			e ^= v
+			e *= prime64
+		}
+		acc += e // commutative fold: map order independent
+	}
+	mix(acc)
+	acc = 0
+	for k, pl := range s.Latency {
+		e := uint64(offset64)
+		for _, v := range []uint64{
+			uint64(uint32(k.U))<<32 ^ uint64(uint32(k.V)),
+			uint64(pl.Timestamp.UnixNano()),
+			uint64(pl.Mean1),
+			uint64(pl.Last),
+		} {
+			e ^= v
+			e *= prime64
+		}
+		acc += e
+	}
+	mix(acc)
+	acc = 0
+	for k, pb := range s.Bandwidth {
+		e := uint64(offset64)
+		for _, v := range []uint64{
+			uint64(uint32(k.U))<<32 ^ uint64(uint32(k.V)),
+			uint64(pb.Timestamp.UnixNano()),
+			math.Float64bits(pb.AvailBps),
+			math.Float64bits(pb.PeakBps),
+		} {
+			e ^= v
+			e *= prime64
+		}
+		acc += e
+	}
+	mix(acc)
+	return h
 }
 
 // Clone returns a deep copy of the snapshot (maps are copied; values are
