@@ -78,6 +78,12 @@ type Response struct {
 	SnapshotAge    time.Duration    `json:"snapshot_age"`
 	ClusterLoad    float64          `json:"cluster_load_per_core"`
 	Allocation     alloc.Allocation `json:"-"`
+	// Degraded reports that the monitoring store could not serve a fresh
+	// snapshot and the answer came from the broker's last-good copy
+	// (restricted to nodes still present in the current livehosts list
+	// when that list was readable). DegradedReason says why.
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
 	// Candidates holds Algorithm 1's full candidate set when the request
 	// asked for an explanation (net-load-aware policy only).
 	Candidates []CandidateInfo `json:"candidates,omitempty"`
@@ -127,6 +133,13 @@ type Broker struct {
 	modelFP     uint64
 	cacheHits   uint64
 	cacheMisses uint64
+
+	// Degraded-mode state: the last snapshot that passed the freshness
+	// checks, kept so a monitoring outage (store unreadable, data aged
+	// out) downgrades service instead of interrupting it.
+	lastGoodMu sync.Mutex
+	lastGood   *metrics.Snapshot
+	degraded   uint64 // responses served from lastGood
 }
 
 // modelKey identifies one cached cost model: the snapshot's content
@@ -178,6 +191,67 @@ func (b *Broker) Policies() []string {
 // Snapshot returns the current consolidated monitoring view.
 func (b *Broker) Snapshot() (*metrics.Snapshot, error) {
 	return monitor.ReadSnapshot(b.st, b.rt.Now())
+}
+
+// acquireSnapshot is Allocate's graceful-degradation front end. It
+// prefers a fresh store read; when the read fails or the data is older
+// than SnapshotMaxAge it falls back to the last snapshot that passed
+// those checks, marks it Degraded, and — when the livehosts list is
+// still readable — drops nodes no longer in it, so a degraded answer can
+// never place ranks on hosts the monitor has since declared dead. With
+// no last-good copy (the broker never saw a healthy monitor) the
+// original errors surface unchanged.
+func (b *Broker) acquireSnapshot() (*metrics.Snapshot, string, error) {
+	snap, err := b.Snapshot()
+	var reason string
+	switch {
+	case err != nil:
+		reason = fmt.Sprintf("snapshot read failed: %v", err)
+	case alloc.StaleAfter(snap, b.cfg.SnapshotMaxAge):
+		reason = fmt.Sprintf("monitoring data older than %v", b.cfg.SnapshotMaxAge)
+	default:
+		b.lastGoodMu.Lock()
+		b.lastGood = snap.Clone()
+		b.lastGoodMu.Unlock()
+		return snap, "", nil
+	}
+
+	b.lastGoodMu.Lock()
+	var lg *metrics.Snapshot
+	if b.lastGood != nil {
+		lg = b.lastGood.Clone()
+		b.degraded++
+	}
+	b.lastGoodMu.Unlock()
+	if lg == nil {
+		if err != nil {
+			return nil, "", fmt.Errorf("broker: no monitoring data: %w", err)
+		}
+		return nil, "", fmt.Errorf("broker: monitoring data older than %v; is the monitor running?", b.cfg.SnapshotMaxAge)
+	}
+	lg.Degraded = true
+	if hosts, _, err := monitor.ReadLivehosts(b.st); err == nil {
+		cur := make(map[int]bool, len(hosts))
+		for _, id := range hosts {
+			cur[id] = true
+		}
+		kept := lg.Livehosts[:0]
+		for _, id := range lg.Livehosts {
+			if cur[id] {
+				kept = append(kept, id)
+			}
+		}
+		lg.Livehosts = kept
+	}
+	return lg, reason, nil
+}
+
+// DegradedServed reports how many allocation requests were answered from
+// the last-good snapshot instead of a fresh read.
+func (b *Broker) DegradedServed() uint64 {
+	b.lastGoodMu.Lock()
+	defer b.lastGoodMu.Unlock()
+	return b.degraded
 }
 
 // costModel returns the dense cost model for snap priced with the given
@@ -246,17 +320,18 @@ func (b *Broker) Allocate(req Request) (Response, error) {
 		return Response{}, fmt.Errorf("broker: unknown policy %q", req.Policy)
 	}
 
-	snap, err := b.Snapshot()
+	snap, degradedReason, err := b.acquireSnapshot()
 	if err != nil {
-		return Response{}, fmt.Errorf("broker: no monitoring data: %w", err)
-	}
-	if alloc.StaleAfter(snap, b.cfg.SnapshotMaxAge) {
-		return Response{}, fmt.Errorf("broker: monitoring data older than %v; is the monitor running?", b.cfg.SnapshotMaxAge)
+		return Response{}, err
 	}
 
 	loadPerCore := clusterLoadPerCore(snap)
 	resp := Response{Policy: pol.Name(), ClusterLoad: loadPerCore}
-	if oldest := oldestNodeAge(snap); oldest >= 0 {
+	if degradedReason != "" {
+		resp.Degraded = true
+		resp.DegradedReason = degradedReason
+		resp.SnapshotAge = b.rt.Now().Sub(snap.Taken)
+	} else if oldest := oldestNodeAge(snap); oldest >= 0 {
 		resp.SnapshotAge = oldest
 	}
 	if loadPerCore > b.cfg.WaitLoadPerCore && !req.Force {

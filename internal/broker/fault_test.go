@@ -1,0 +1,235 @@
+package broker
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nlarm/internal/alloc"
+	"nlarm/internal/cluster"
+	"nlarm/internal/loadgen"
+	"nlarm/internal/monitor"
+	"nlarm/internal/simtime"
+	"nlarm/internal/store"
+	"nlarm/internal/world"
+)
+
+// faultRig is the broker test rig with a fault-injecting store between
+// the monitor and the broker.
+type faultRig struct {
+	sched *simtime.Scheduler
+	w     *world.World
+	fs    *store.FaultStore
+	mgr   *monitor.Manager
+	b     *Broker
+}
+
+func newFaultRig(t *testing.T, seed uint64) *faultRig {
+	t.Helper()
+	cl, err := cluster.BuildUniform(2, 4, 8, 3.0, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := simtime.NewScheduler(t0)
+	w := world.New(cl, world.Config{Seed: seed, StepSize: time.Second}, t0)
+	w.Attach(sched)
+	fs := store.NewFault(store.NewMem(), seed)
+	mgr := monitor.NewManager(&monitor.WorldProber{W: w}, fs, monitor.Config{
+		NodeStatePeriod: 2 * time.Second,
+		LivehostsPeriod: 2 * time.Second,
+		LatencyPeriod:   5 * time.Second,
+		BandwidthPeriod: 10 * time.Second,
+	})
+	if err := mgr.Start(sched); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mgr.Stop)
+	sched.RunFor(30 * time.Second)
+	return &faultRig{sched: sched, w: w, fs: fs, mgr: mgr, b: New(fs, sched, Config{Seed: seed})}
+}
+
+func TestFaultDegradedServesLastGoodOnReadFailure(t *testing.T) {
+	r := newFaultRig(t, 21)
+	fresh, err := r.b.Allocate(Request{Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Degraded {
+		t.Fatalf("healthy store produced a degraded response: %s", fresh.DegradedReason)
+	}
+
+	// Partition the livehosts prefix: the snapshot read now fails, but
+	// the broker must keep answering from its last-good copy.
+	r.fs.Partition(monitor.KeyLivehostsPrefix)
+	resp, err := r.b.Allocate(Request{Procs: 4})
+	if err != nil {
+		t.Fatalf("allocation failed during partition instead of degrading: %v", err)
+	}
+	if !resp.Degraded {
+		t.Fatal("partitioned store served a non-degraded response")
+	}
+	if !strings.Contains(resp.DegradedReason, "snapshot read failed") {
+		t.Fatalf("degraded reason %q", resp.DegradedReason)
+	}
+	if len(resp.Nodes) == 0 {
+		t.Fatal("degraded response carries no nodes")
+	}
+	if got := r.b.DegradedServed(); got != 1 {
+		t.Fatalf("DegradedServed = %d, want 1", got)
+	}
+
+	// Healing restores fresh service.
+	r.fs.HealAll()
+	after, err := r.b.Allocate(Request{Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Degraded {
+		t.Fatal("healed store still serving degraded responses")
+	}
+}
+
+func TestFaultDegradedServesLastGoodOnStaleData(t *testing.T) {
+	r := newFaultRig(t, 22)
+	if _, err := r.b.Allocate(Request{Procs: 4}); err != nil {
+		t.Fatal(err)
+	}
+	// Stop monitoring and let the data age far beyond the bound. A broker
+	// that already saw a healthy monitor degrades instead of refusing.
+	r.mgr.Stop()
+	r.sched.RunFor(10 * time.Minute)
+	resp, err := r.b.Allocate(Request{Procs: 4})
+	if err != nil {
+		t.Fatalf("stale data refused despite last-good copy: %v", err)
+	}
+	if !resp.Degraded || !strings.Contains(resp.DegradedReason, "older than") {
+		t.Fatalf("degraded=%v reason=%q", resp.Degraded, resp.DegradedReason)
+	}
+	if resp.SnapshotAge < 5*time.Minute {
+		t.Fatalf("degraded SnapshotAge = %v, want the last-good copy's real age", resp.SnapshotAge)
+	}
+}
+
+func TestFaultDegradedFiltersNodesGoneFromLivehosts(t *testing.T) {
+	r := newFaultRig(t, 23)
+	if _, err := r.b.Allocate(Request{Procs: 4}); err != nil {
+		t.Fatal(err)
+	}
+	// Kill a node and let the livehosts list notice, then partition the
+	// node-state prefix so the next snapshot has no fresh node data.
+	const dead = 3
+	r.w.SetNodeDown(dead, true)
+	r.sched.RunFor(6 * time.Second)
+	r.fs.Partition(monitor.KeyNodeStatePrefix)
+
+	// A full-cluster request can only be satisfied by the 7 survivors:
+	// the degraded snapshot must have dropped the dead node.
+	resp, err := r.b.Allocate(Request{Procs: 56, PPN: 8, Force: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Degraded {
+		t.Fatal("node-state partition did not degrade the response")
+	}
+	if len(resp.Nodes) != 7 {
+		t.Fatalf("degraded allocation used %d nodes, want the 7 live ones", len(resp.Nodes))
+	}
+	for _, n := range resp.Nodes {
+		if n == dead {
+			t.Fatalf("degraded allocation placed ranks on dead node %d", dead)
+		}
+	}
+}
+
+func TestFaultNoLastGoodStillErrors(t *testing.T) {
+	sched := simtime.NewScheduler(t0)
+	fs := store.NewFault(store.NewMem(), 9)
+	b := New(fs, sched, Config{})
+	if _, err := b.Allocate(Request{Procs: 4}); err == nil {
+		t.Fatal("broker with no last-good snapshot served an empty store")
+	}
+	if got := b.DegradedServed(); got != 0 {
+		t.Fatalf("DegradedServed = %d for a broker that never degraded", got)
+	}
+}
+
+// TestFaultCostModelCacheRace hammers the PR 1 cost-model cache with
+// concurrent Allocate calls while a republisher keeps rewriting node
+// state (changing the snapshot fingerprint), then verifies the cache was
+// never left serving a model for a superseded fingerprint. Run with
+// -race.
+func TestFaultCostModelCacheRace(t *testing.T) {
+	r := newRig(t, 31, loadgen.Config{})
+	snap0, err := r.b.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := snap0.Nodes[0]
+
+	const allocators, rounds = 4, 50
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	republisherDone := make(chan struct{})
+	go func() {
+		defer close(republisherDone)
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			i++
+			attrs := base
+			attrs.CPULoad.M1 = float64(i%17) * 0.25
+			attrs.Timestamp = base.Timestamp.Add(time.Duration(i) * time.Millisecond)
+			bts, err := json.Marshal(attrs)
+			if err != nil {
+				panic(err)
+			}
+			_ = r.st.Put(fmt.Sprintf("%s0", monitor.KeyNodeStatePrefix), bts)
+		}
+	}()
+	for g := 0; g < allocators; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if _, err := r.b.Allocate(Request{Procs: 4, Force: true,
+					Alpha: 0.1 * float64(g+1), Beta: 1 - 0.1*float64(g+1)}); err != nil {
+					t.Errorf("allocator %d: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	<-republisherDone
+
+	// The cache must now rebuild for the final snapshot exactly as a
+	// from-scratch build would: a missed invalidation would surface here
+	// as a model computed from a superseded snapshot.
+	final, err := r.b.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := alloc.Weights{CPULoad: 1}
+	got := r.b.costModel(final, w, false)
+	want := alloc.NewCostModel(final, w, false)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("cost model cache returned a model that does not match a fresh build for the current snapshot")
+	}
+	// And an immediate second lookup is a hit on that same model.
+	hitsBefore, _ := r.b.ModelCacheStats()
+	if again := r.b.costModel(final, w, false); !reflect.DeepEqual(again, want) {
+		t.Fatal("second lookup diverged")
+	}
+	if hitsAfter, _ := r.b.ModelCacheStats(); hitsAfter != hitsBefore+1 {
+		t.Fatalf("expected a cache hit, hits %d -> %d", hitsBefore, hitsAfter)
+	}
+}

@@ -1,0 +1,328 @@
+// Package chaos turns the repo's failure knobs — daemon Crash, store
+// partitions, node death — into a deterministic, seeded fault schedule
+// driven by virtual time. A Schedule is a plain list of timed events
+// generated from an rng.Rand; an Injector applies each event to the
+// running stack (monitor manager, world, fault store) and keeps exact
+// counts, so a scenario runner can assert that the system's recovery
+// bookkeeping (relaunches, promotions) matches what was actually
+// injected. Because events fire on the simtime scheduler and all
+// randomness comes from the seed, a chaos run replays bit-identically.
+package chaos
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"nlarm/internal/monitor"
+	"nlarm/internal/rng"
+	"nlarm/internal/simtime"
+	"nlarm/internal/store"
+	"nlarm/internal/world"
+)
+
+// Kind classifies a fault event.
+type Kind string
+
+// Fault event kinds.
+const (
+	// KindCrashWorker crashes one supervised monitoring daemon.
+	KindCrashWorker Kind = "crash-worker"
+	// KindKillMaster crashes the current central-monitor master.
+	KindKillMaster Kind = "kill-master"
+	// KindKillSlave crashes the current central-monitor slave.
+	KindKillSlave Kind = "kill-slave"
+	// KindPartition makes a store key prefix unreachable.
+	KindPartition Kind = "partition"
+	// KindHeal lifts a partition installed by KindPartition.
+	KindHeal Kind = "heal"
+	// KindNodeDown takes a cluster node offline (aborting its jobs).
+	KindNodeDown Kind = "node-down"
+	// KindNodeUp brings a downed node back.
+	KindNodeUp Kind = "node-up"
+)
+
+// Event is one timed fault. At is the offset from the moment the schedule
+// is armed (Injector.Arm), not an absolute time, so the same schedule can
+// run after any warm-up.
+type Event struct {
+	At     time.Duration
+	Kind   Kind
+	Target string // daemon name (crash-worker) or store prefix (partition/heal)
+	Node   int    // node id (node-down/node-up)
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case KindNodeDown, KindNodeUp:
+		return fmt.Sprintf("%v %s node%d", e.At, e.Kind, e.Node)
+	case KindKillMaster, KindKillSlave:
+		return fmt.Sprintf("%v %s", e.At, e.Kind)
+	default:
+		return fmt.Sprintf("%v %s %s", e.At, e.Kind, e.Target)
+	}
+}
+
+// ScheduleConfig shapes a generated schedule.
+type ScheduleConfig struct {
+	// Windows is the number of fault windows (default 10).
+	Windows int
+	// Window is the length of one window (default 1 minute). Recovery
+	// events (heal, node-up) land at Window/2, so supervision thresholds
+	// must allow detection and relaunch within the remaining half.
+	Window time.Duration
+	// Workers are the names of crashable supervised daemons.
+	Workers []string
+	// Prefixes are the store prefixes eligible for partitions. Control
+	// prefixes (heartbeats, the leader lease) should not be listed:
+	// partitioning them makes healthy daemons look dead, which is a
+	// different experiment than the ones the invariants describe.
+	Prefixes []string
+	// Nodes are the cluster nodes eligible for death/recovery.
+	Nodes []int
+}
+
+func (c ScheduleConfig) withDefaults() ScheduleConfig {
+	if c.Windows <= 0 {
+		c.Windows = 10
+	}
+	if c.Window <= 0 {
+		c.Window = time.Minute
+	}
+	return c
+}
+
+// fixedOpening guarantees every fault family appears at least once, in a
+// fixed order, before the remaining windows draw kinds at random.
+var fixedOpening = []Kind{KindKillMaster, KindCrashWorker, KindPartition, KindNodeDown, KindKillSlave}
+
+// randomPool is the kind set random windows draw from.
+var randomPool = []Kind{KindKillMaster, KindKillSlave, KindCrashWorker, KindPartition, KindNodeDown}
+
+// Schedule generates a deterministic fault schedule from rnd: one primary
+// fault per window at +1s, a secondary worker crash at +5s, and recovery
+// events (heal/node-up) at half-window. The first windows cycle through
+// every fault family; later windows pick at random. The same rnd state
+// and config always produce the identical schedule.
+func Schedule(rnd *rng.Rand, cfg ScheduleConfig) []Event {
+	cfg = cfg.withDefaults()
+	var evs []Event
+	for w := 0; w < cfg.Windows; w++ {
+		base := time.Duration(w) * cfg.Window
+		var kind Kind
+		if w < len(fixedOpening) {
+			kind = fixedOpening[w]
+		} else {
+			kind = randomPool[rnd.Intn(len(randomPool))]
+		}
+		switch kind {
+		case KindCrashWorker:
+			evs = append(evs, Event{At: base + time.Second, Kind: kind,
+				Target: cfg.Workers[rnd.Intn(len(cfg.Workers))]})
+		case KindPartition:
+			p := cfg.Prefixes[rnd.Intn(len(cfg.Prefixes))]
+			evs = append(evs,
+				Event{At: base + time.Second, Kind: kind, Target: p},
+				Event{At: base + cfg.Window/2, Kind: KindHeal, Target: p})
+		case KindNodeDown:
+			n := cfg.Nodes[rnd.Intn(len(cfg.Nodes))]
+			evs = append(evs,
+				Event{At: base + time.Second, Kind: kind, Node: n},
+				Event{At: base + cfg.Window/2, Kind: KindNodeUp, Node: n})
+		default: // kill-master, kill-slave
+			evs = append(evs, Event{At: base + time.Second, Kind: kind})
+		}
+		// Every window also loses one worker daemon, so supervision is
+		// exercised concurrently with whatever else is going wrong.
+		evs = append(evs, Event{At: base + 5*time.Second, Kind: KindCrashWorker,
+			Target: cfg.Workers[rnd.Intn(len(cfg.Workers))]})
+	}
+	return evs
+}
+
+// Injector applies schedule events to a running stack and keeps exact
+// injection counts for invariant checks. All methods are safe for
+// concurrent use; inside the simulation they run on the scheduler
+// goroutine.
+type Injector struct {
+	Mgr    *monitor.Manager
+	World  *world.World
+	FStore *store.FaultStore
+
+	mu            sync.Mutex
+	armedAt       time.Time
+	cancels       []simtime.CancelFunc
+	workerCrashes int
+	masterKills   int
+	slaveKills    int
+	down          map[int]bool
+	log           []string
+}
+
+// Arm schedules every event on rt, offset from rt.Now(). Call Disarm (or
+// let the scenario end) before reusing the injector.
+func (in *Injector) Arm(rt simtime.Runtime, events []Event) {
+	in.mu.Lock()
+	in.armedAt = rt.Now()
+	if in.down == nil {
+		in.down = make(map[int]bool)
+	}
+	in.mu.Unlock()
+	for _, ev := range events {
+		ev := ev
+		cancel := rt.After(ev.At, "chaos."+string(ev.Kind), func(now time.Time) {
+			in.Apply(ev, now)
+		})
+		in.mu.Lock()
+		in.cancels = append(in.cancels, cancel)
+		in.mu.Unlock()
+	}
+}
+
+// Disarm cancels all pending armed events.
+func (in *Injector) Disarm() {
+	in.mu.Lock()
+	cancels := in.cancels
+	in.cancels = nil
+	in.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+}
+
+// Apply executes one event immediately. Events that find their target
+// already in the faulted state (a dead daemon, a downed node) are logged
+// as no-ops and NOT counted, so counts always equal state transitions the
+// system must recover from.
+func (in *Injector) Apply(ev Event, now time.Time) {
+	applied := true
+	detail := ""
+	switch ev.Kind {
+	case KindCrashWorker:
+		d := in.Mgr.Daemon(ev.Target)
+		if d != nil && d.Running() {
+			d.Crash()
+			in.mu.Lock()
+			in.workerCrashes++
+			in.mu.Unlock()
+		} else {
+			applied = false
+		}
+	case KindKillMaster:
+		if m := in.Mgr.Master(); m != nil {
+			detail = m.Name()
+			m.Crash()
+			in.mu.Lock()
+			in.masterKills++
+			in.mu.Unlock()
+		} else {
+			applied = false
+		}
+	case KindKillSlave:
+		var slave *monitor.CentralMonitor
+		for _, c := range in.Mgr.Centrals() {
+			if c.Running() && c.Role() == monitor.RoleSlave {
+				slave = c
+			}
+		}
+		if slave != nil {
+			detail = slave.Name()
+			slave.Crash()
+			in.mu.Lock()
+			in.slaveKills++
+			in.mu.Unlock()
+		} else {
+			applied = false
+		}
+	case KindPartition:
+		in.FStore.Partition(ev.Target)
+	case KindHeal:
+		in.FStore.Heal(ev.Target)
+	case KindNodeDown:
+		in.mu.Lock()
+		fresh := !in.down[ev.Node]
+		if fresh {
+			in.down[ev.Node] = true
+		}
+		in.mu.Unlock()
+		if fresh {
+			in.World.SetNodeDown(ev.Node, true)
+		} else {
+			applied = false
+		}
+	case KindNodeUp:
+		in.mu.Lock()
+		wasDown := in.down[ev.Node]
+		delete(in.down, ev.Node)
+		in.mu.Unlock()
+		if wasDown {
+			in.World.SetNodeDown(ev.Node, false)
+		} else {
+			applied = false
+		}
+	default:
+		applied = false
+		detail = "unknown kind"
+	}
+
+	in.mu.Lock()
+	line := fmt.Sprintf("%v %s", now.Sub(in.armedAt), ev.Kind)
+	if ev.Kind == KindNodeDown || ev.Kind == KindNodeUp {
+		line += fmt.Sprintf(" node%d", ev.Node)
+	} else if ev.Target != "" {
+		line += " " + ev.Target
+	}
+	if detail != "" {
+		line += " (" + detail + ")"
+	}
+	if !applied {
+		line += " [no-op]"
+	}
+	in.log = append(in.log, line)
+	in.mu.Unlock()
+}
+
+// WorkerCrashes returns how many running workers were crashed.
+func (in *Injector) WorkerCrashes() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.workerCrashes
+}
+
+// MasterKills returns how many running masters were crashed.
+func (in *Injector) MasterKills() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.masterKills
+}
+
+// SlaveKills returns how many running slaves were crashed.
+func (in *Injector) SlaveKills() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.slaveKills
+}
+
+// DownNodes returns the currently-dead node ids, unsorted-map order
+// removed (ascending).
+func (in *Injector) DownNodes() []int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var out []int
+	for id := range in.down {
+		out = append(out, id)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Log returns the applied-event log in order.
+func (in *Injector) Log() []string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]string(nil), in.log...)
+}

@@ -1,0 +1,85 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"nlarm/internal/rng"
+)
+
+func schedCfg() ScheduleConfig {
+	return ScheduleConfig{
+		Windows:  10,
+		Window:   time.Minute,
+		Workers:  []string{"nodestated/0", "nodestated/1", "latencyd", "bandwidthd"},
+		Prefixes: []string{"nodestate/", "livehosts/"},
+		Nodes:    []int{0, 1, 2, 3},
+	}
+}
+
+func TestChaosScheduleDeterministic(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		a := Schedule(rng.New(seed), schedCfg())
+		b := Schedule(rng.New(seed), schedCfg())
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: schedules differ:\n%v\n%v", seed, a, b)
+		}
+	}
+	if reflect.DeepEqual(Schedule(rng.New(1), schedCfg()), Schedule(rng.New(2), schedCfg())) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestChaosScheduleCoversEveryFamily(t *testing.T) {
+	evs := Schedule(rng.New(3), schedCfg())
+	seen := map[Kind]int{}
+	for _, e := range evs {
+		seen[e.Kind]++
+	}
+	for _, k := range []Kind{KindKillMaster, KindKillSlave, KindCrashWorker,
+		KindPartition, KindHeal, KindNodeDown, KindNodeUp} {
+		if seen[k] == 0 {
+			t.Fatalf("schedule never emits %s: %v", k, seen)
+		}
+	}
+	if seen[KindPartition] != seen[KindHeal] {
+		t.Fatalf("unbalanced partitions: %d partitions, %d heals", seen[KindPartition], seen[KindHeal])
+	}
+	if seen[KindNodeDown] != seen[KindNodeUp] {
+		t.Fatalf("unbalanced node deaths: %d down, %d up", seen[KindNodeDown], seen[KindNodeUp])
+	}
+}
+
+func TestChaosScheduleShape(t *testing.T) {
+	cfg := schedCfg()
+	evs := Schedule(rng.New(5), cfg)
+	if len(evs) < 2*cfg.Windows {
+		t.Fatalf("%d events for %d windows, want >= %d", len(evs), cfg.Windows, 2*cfg.Windows)
+	}
+	// Events are emitted window by window; offsets never exceed the run.
+	horizon := time.Duration(cfg.Windows) * cfg.Window
+	secondaries := 0
+	for _, e := range evs {
+		if e.At < 0 || e.At >= horizon {
+			t.Fatalf("event outside run horizon: %v", e)
+		}
+		if e.Kind == KindCrashWorker {
+			found := false
+			for _, w := range cfg.Workers {
+				if e.Target == w {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("crash target %q not in worker set", e.Target)
+			}
+		}
+		if e.At%cfg.Window == 5*time.Second {
+			secondaries++
+		}
+	}
+	if secondaries != cfg.Windows {
+		t.Fatalf("%d secondary crashes, want one per window (%d)", secondaries, cfg.Windows)
+	}
+}

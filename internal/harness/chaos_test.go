@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+)
+
+// chaosSeeds mirrors the monitor package's seed policy: a fixed local set
+// plus CI's matrix seed from NLARM_CHAOS_SEED.
+func chaosSeeds() []uint64 {
+	seeds := []uint64{1, 7}
+	if v := os.Getenv("NLARM_CHAOS_SEED"); v != "" {
+		if n, err := strconv.ParseUint(v, 10, 64); err == nil {
+			seeds = append(seeds, n)
+		}
+	}
+	return seeds
+}
+
+func TestChaosScenarioInvariants(t *testing.T) {
+	for _, seed := range chaosSeeds() {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rep, err := RunChaos(ChaosConfig{Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Ok() {
+				t.Fatalf("invariant violations:\n%s\n\nfull report:\n%s",
+					rep.Violations(), rep.Render())
+			}
+			if n := rep.InjectedFaults(); n < 20 {
+				t.Fatalf("only %d injected faults, want >= 20", n)
+			}
+			if rep.WorkerCrashes == 0 || rep.MasterKills == 0 || rep.SlaveKills == 0 {
+				t.Fatalf("schedule skipped a kill family: crashes=%d masterKills=%d slaveKills=%d",
+					rep.WorkerCrashes, rep.MasterKills, rep.SlaveKills)
+			}
+			if rep.DegradedServes == 0 {
+				t.Fatal("no allocation was ever served from the last-good snapshot; partitions did not bite")
+			}
+			if rep.StoreFaults == 0 {
+				t.Fatal("fault store injected nothing")
+			}
+			if rep.JobsDone != rep.JobsSubmitted || rep.JobsSubmitted == 0 {
+				t.Fatalf("jobs: %d/%d done", rep.JobsDone, rep.JobsSubmitted)
+			}
+		})
+	}
+}
+
+func TestChaosScenarioDeterministic(t *testing.T) {
+	run := func(seed uint64) *ChaosReport {
+		rep, err := RunChaos(ChaosConfig{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(7), run(7)
+	if a.Render() != b.Render() {
+		t.Fatalf("same-seed runs diverged:\n--- run1 ---\n%s\n--- run2 ---\n%s", a.Render(), b.Render())
+	}
+	if a.Digest() != b.Digest() {
+		t.Fatalf("digest mismatch: %x vs %x", a.Digest(), b.Digest())
+	}
+	if c := run(8); c.Render() == a.Render() {
+		t.Fatal("different seeds produced identical runs")
+	}
+}

@@ -79,6 +79,12 @@ type Snapshot struct {
 	Nodes     map[int]NodeAttrs         `json:"nodes"`
 	Latency   map[PairKey]PairLatency   `json:"-"`
 	Bandwidth map[PairKey]PairBandwidth `json:"-"`
+	// Degraded marks a snapshot that is NOT a fresh store read: the
+	// broker sets it when it serves its last-good copy because the
+	// current read failed or aged past the staleness bound. Consumers
+	// can surface it; Fingerprint ignores it (content identity is about
+	// the monitoring data, not how it was obtained).
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // PairKey identifies an unordered node pair; U < V always.
@@ -206,6 +212,7 @@ func (s *Snapshot) Fingerprint() uint64 {
 func (s *Snapshot) Clone() *Snapshot {
 	c := &Snapshot{
 		Taken:     s.Taken,
+		Degraded:  s.Degraded,
 		Livehosts: append([]int(nil), s.Livehosts...),
 		Nodes:     make(map[int]NodeAttrs, len(s.Nodes)),
 		Latency:   make(map[PairKey]PairLatency, len(s.Latency)),

@@ -171,19 +171,14 @@ func (m *CentralMonitor) AdoptSupervised(ds []Daemon, peerName string) {
 	m.peerName = peerName
 }
 
-// staleFor reports whether the named daemon's heartbeat is too old, given
-// that a healthy daemon with the given tick period heartbeats at most once
-// per period: the threshold is the larger of the configured timeout and
-// 2.5 periods (so slow daemons like BandwidthD are not relaunched between
-// legitimate ticks).
+// staleFor reports whether the named daemon's heartbeat is too old. The
+// threshold comes from stalenessThreshold — the same rule the doctor's
+// thresholdFor applies — so supervision and diagnosis can never disagree
+// about who is dead.
 func (m *CentralMonitor) staleFor(name string, period time.Duration, now time.Time) bool {
 	at, ok := readHeartbeat(m.st, name)
 	if !ok {
 		return true
 	}
-	threshold := m.cfg.HeartbeatTimeout
-	if p := period * 5 / 2; p > threshold {
-		threshold = p
-	}
-	return now.Sub(at) > threshold
+	return now.Sub(at) > stalenessThreshold(period, m.cfg)
 }

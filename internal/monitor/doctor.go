@@ -56,31 +56,46 @@ func (d *Diagnosis) Healthy() bool {
 	return true
 }
 
-// thresholdFor mirrors the central monitor's staleness rule for each
-// daemon family.
-func thresholdFor(name string, cfg Config) time.Duration {
-	var period time.Duration
-	switch {
-	case strings.HasPrefix(name, "nodestated/"):
-		period = cfg.NodeStatePeriod
-	case strings.HasPrefix(name, "livehostsd/"):
-		// Replicas run at staggered multiples of the base period; allow
-		// the slowest replica's cadence.
-		period = cfg.LivehostsPeriod * time.Duration(cfg.LivehostsReplicas)
-	case name == "latencyd":
-		period = cfg.LatencyPeriod
-	case name == "bandwidthd":
-		period = cfg.BandwidthPeriod
-	case strings.HasPrefix(name, "centralmon/"):
-		period = cfg.SupervisePeriod
-	default:
-		period = cfg.SupervisePeriod
-	}
+// stalenessThreshold is the single source of truth for how stale a
+// heartbeat may be before a daemon with the given tick period counts as
+// dead: the larger of the configured timeout and 2.5 periods, so slow
+// daemons like BandwidthD are not declared dead (or relaunched) between
+// legitimate ticks. Both the central monitor's supervision (staleFor)
+// and the doctor's diagnosis (thresholdFor) apply this rule.
+func stalenessThreshold(period time.Duration, cfg Config) time.Duration {
 	threshold := cfg.HeartbeatTimeout
 	if p := period * 5 / 2; p > threshold {
 		threshold = p
 	}
 	return threshold
+}
+
+// periodFor maps a daemon name to the tick period the staleness rule
+// should assume for it. The central monitor knows each supervised
+// daemon's exact period; the doctor only has names, so it reconstructs
+// the period per daemon family.
+func periodFor(name string, cfg Config) time.Duration {
+	switch {
+	case strings.HasPrefix(name, "nodestated/"):
+		return cfg.NodeStatePeriod
+	case strings.HasPrefix(name, "livehostsd/"):
+		// Replicas run at staggered multiples of the base period; allow
+		// the slowest replica's cadence.
+		return cfg.LivehostsPeriod * time.Duration(cfg.LivehostsReplicas)
+	case name == "latencyd":
+		return cfg.LatencyPeriod
+	case name == "bandwidthd":
+		return cfg.BandwidthPeriod
+	default: // centralmon/* and anything unknown
+		return cfg.SupervisePeriod
+	}
+}
+
+// thresholdFor is the doctor's staleness threshold for the named daemon:
+// periodFor's family period fed through the shared stalenessThreshold
+// rule.
+func thresholdFor(name string, cfg Config) time.Duration {
+	return stalenessThreshold(periodFor(name, cfg), cfg)
 }
 
 // Diagnose inspects the store and returns the system's health at `now`.

@@ -158,6 +158,15 @@ func (m *Manager) Daemon(name string) Daemon {
 	return nil
 }
 
+// Workers returns all supervised (non-central) daemons — what a master
+// keeps alive. Chaos harnesses use it to pick crash targets and to
+// verify every worker came back after injected failures.
+func (m *Manager) Workers() []Daemon {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.workerDaemons()
+}
+
 // NodeStateDaemon returns the NodeStateD for node id, or nil.
 func (m *Manager) NodeStateDaemon(id int) *NodeStateD {
 	if id < 0 || id >= len(m.nodeStateDs) {

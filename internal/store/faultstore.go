@@ -1,0 +1,341 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"nlarm/internal/rng"
+)
+
+// ErrInjected is the sentinel wrapped by every fault the FaultStore
+// injects, so callers (and tests) can distinguish injected failures from
+// real backend errors with errors.Is.
+var ErrInjected = fmt.Errorf("store: injected fault")
+
+// Op identifies a store operation for counters and fault rules.
+type Op string
+
+// Store operations.
+const (
+	OpPut    Op = "put"
+	OpGet    Op = "get"
+	OpList   Op = "list"
+	OpDelete Op = "delete"
+)
+
+// Fault kinds counted by FaultCount.
+const (
+	FaultPutError  = "put-error"  // Put failed without writing
+	FaultTornWrite = "torn-write" // Put persisted, then reported failure
+	FaultGetError  = "get-error"  // Get failed
+	FaultStaleRead = "stale-read" // Get returned the key's previous value
+	FaultListError = "list-error" // List failed
+	FaultPartition = "partition"  // operation hit a partitioned prefix
+)
+
+// Rates are per-operation fault probabilities in [0, 1]. A zero rate
+// never draws from the generator, so enabling one fault class does not
+// perturb the random stream of the others.
+type Rates struct {
+	// PutError makes Put fail before anything is written.
+	PutError float64
+	// TornWrite makes Put persist the value and then report failure —
+	// the shared-filesystem failure mode where the writer dies after the
+	// data hit the disk but before it learned so.
+	TornWrite float64
+	// GetError makes Get fail outright.
+	GetError float64
+	// StaleRead makes Get return the key's previous value (the read
+	// landed on a replica that has not seen the latest write). Keys
+	// written at most once never read stale.
+	StaleRead float64
+	// ListError makes List fail outright.
+	ListError float64
+}
+
+// FaultStore wraps a Store and injects seeded, schedule-driven faults:
+// probabilistic Put/Get/List errors, torn writes, stale reads, and
+// per-key-prefix partitions, plus operation and fault counters for test
+// assertions. With zero rates and no partitions it is a transparent
+// pass-through.
+//
+// All methods are safe for concurrent use. Outcomes are deterministic for
+// a fixed seed and a fixed operation order — inside the discrete-event
+// simulation every store call happens on the scheduler goroutine, so
+// chaos scenarios replay bit-identically.
+type FaultStore struct {
+	inner Store
+
+	mu         sync.Mutex
+	rnd        *rng.Rand
+	rates      Rates
+	scope      []string          // probabilistic faults only hit these prefixes
+	partitions []string          // active partitioned key prefixes
+	prev       map[string][]byte // previous value per overwritten key
+	ops        map[Op]uint64
+	faults     map[string]uint64
+}
+
+// NewFault wraps inner with a fault injector seeded from seed. The
+// wrapper starts fault-free: set Rates and Partition to arm it.
+func NewFault(inner Store, seed uint64) *FaultStore {
+	return &FaultStore{
+		inner:  inner,
+		rnd:    rng.New(seed),
+		prev:   make(map[string][]byte),
+		ops:    make(map[Op]uint64),
+		faults: make(map[string]uint64),
+	}
+}
+
+// SetRates replaces the probabilistic fault rates.
+func (s *FaultStore) SetRates(r Rates) {
+	s.mu.Lock()
+	s.rates = r
+	s.mu.Unlock()
+}
+
+// SetScope limits the blast radius of the probabilistic faults (Rates) to
+// keys under the given prefixes; an empty scope means every key. Chaos
+// scenarios use it to corrupt monitoring data while leaving control-plane
+// keys (heartbeats, the leader lease) honest, so failure accounting stays
+// exact. Partitions are schedule-driven and ignore the scope.
+func (s *FaultStore) SetScope(prefixes ...string) {
+	s.mu.Lock()
+	s.scope = append([]string(nil), prefixes...)
+	s.mu.Unlock()
+}
+
+// inScopeLocked reports whether probabilistic faults may hit key.
+func (s *FaultStore) inScopeLocked(key string) bool {
+	if len(s.scope) == 0 {
+		return true
+	}
+	for _, p := range s.scope {
+		if strings.HasPrefix(key, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Partition makes every key under prefix unreachable (Put/Get/Delete
+// error; List of a prefix inside the partition errors, wider List calls
+// silently omit the partitioned keys — the directory simply looks
+// empty). Partitioning an already-partitioned prefix is a no-op.
+func (s *FaultStore) Partition(prefix string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range s.partitions {
+		if p == prefix {
+			return
+		}
+	}
+	s.partitions = append(s.partitions, prefix)
+}
+
+// Heal removes a partition installed by Partition. Healing an unknown
+// prefix is a no-op.
+func (s *FaultStore) Heal(prefix string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	live := s.partitions[:0]
+	for _, p := range s.partitions {
+		if p != prefix {
+			live = append(live, p)
+		}
+	}
+	s.partitions = live
+}
+
+// HealAll removes every active partition.
+func (s *FaultStore) HealAll() {
+	s.mu.Lock()
+	s.partitions = nil
+	s.mu.Unlock()
+}
+
+// Partitioned returns the active partition prefixes, sorted.
+func (s *FaultStore) Partitioned() []string {
+	s.mu.Lock()
+	out := append([]string(nil), s.partitions...)
+	s.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// OpCount returns how many times op was attempted (including faulted
+// attempts).
+func (s *FaultStore) OpCount(op Op) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ops[op]
+}
+
+// FaultCount returns how many faults of the given kind were injected.
+func (s *FaultStore) FaultCount(kind string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.faults[kind]
+}
+
+// TotalFaults returns the number of injected faults across all kinds.
+func (s *FaultStore) TotalFaults() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n uint64
+	for _, c := range s.faults {
+		n += c
+	}
+	return n
+}
+
+// partitionedLocked reports whether key falls under an active partition.
+func (s *FaultStore) partitionedLocked(key string) bool {
+	for _, p := range s.partitions {
+		if strings.HasPrefix(key, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// roll draws once when rate is positive and reports whether the fault
+// fires, recording it under kind.
+func (s *FaultStore) rollLocked(rate float64, kind string) bool {
+	if rate <= 0 {
+		return false
+	}
+	if s.rnd.Float64() >= rate {
+		return false
+	}
+	s.faults[kind]++
+	return true
+}
+
+// Put implements Store.
+func (s *FaultStore) Put(key string, value []byte) error {
+	s.mu.Lock()
+	s.ops[OpPut]++
+	if s.partitionedLocked(key) {
+		s.faults[FaultPartition]++
+		s.mu.Unlock()
+		return fmt.Errorf("%w: partitioned prefix blocks put %q", ErrInjected, key)
+	}
+	torn := false
+	if s.inScopeLocked(key) {
+		torn = s.rollLocked(s.rates.TornWrite, FaultTornWrite)
+		if !torn && s.rollLocked(s.rates.PutError, FaultPutError) {
+			s.mu.Unlock()
+			return fmt.Errorf("%w: put %q", ErrInjected, key)
+		}
+	}
+	s.mu.Unlock()
+
+	// Remember the value being replaced so stale reads have something old
+	// to serve. The pre-read races against other writers only outside the
+	// simulation, where stale reads are approximate anyway.
+	if s.staleTracking(key) {
+		if old, err := s.inner.Get(key); err == nil {
+			s.mu.Lock()
+			s.prev[key] = old
+			s.mu.Unlock()
+		}
+	}
+	if err := s.inner.Put(key, value); err != nil {
+		return err
+	}
+	if torn {
+		return fmt.Errorf("%w: torn write %q (value persisted)", ErrInjected, key)
+	}
+	return nil
+}
+
+// staleTracking reports whether previous values of key need recording.
+func (s *FaultStore) staleTracking(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rates.StaleRead > 0 && s.inScopeLocked(key)
+}
+
+// Get implements Store.
+func (s *FaultStore) Get(key string) ([]byte, error) {
+	s.mu.Lock()
+	s.ops[OpGet]++
+	if s.partitionedLocked(key) {
+		s.faults[FaultPartition]++
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: partitioned prefix blocks get %q", ErrInjected, key)
+	}
+	if s.inScopeLocked(key) {
+		if s.rollLocked(s.rates.GetError, FaultGetError) {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("%w: get %q", ErrInjected, key)
+		}
+		if s.rates.StaleRead > 0 {
+			if old, ok := s.prev[key]; ok && s.rollLocked(s.rates.StaleRead, FaultStaleRead) {
+				cp := append([]byte(nil), old...)
+				s.mu.Unlock()
+				return cp, nil
+			}
+		}
+	}
+	s.mu.Unlock()
+	return s.inner.Get(key)
+}
+
+// List implements Store.
+func (s *FaultStore) List(prefix string) ([]string, error) {
+	s.mu.Lock()
+	s.ops[OpList]++
+	for _, p := range s.partitions {
+		if strings.HasPrefix(prefix, p) {
+			s.faults[FaultPartition]++
+			s.mu.Unlock()
+			return nil, fmt.Errorf("%w: partitioned prefix blocks list %q", ErrInjected, prefix)
+		}
+	}
+	if s.inScopeLocked(prefix) && s.rollLocked(s.rates.ListError, FaultListError) {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: list %q", ErrInjected, prefix)
+	}
+	parts := append([]string(nil), s.partitions...)
+	s.mu.Unlock()
+
+	keys, err := s.inner.List(prefix)
+	if err != nil || len(parts) == 0 {
+		return keys, err
+	}
+	visible := keys[:0]
+	for _, k := range keys {
+		blocked := false
+		for _, p := range parts {
+			if strings.HasPrefix(k, p) {
+				blocked = true
+				break
+			}
+		}
+		if !blocked {
+			visible = append(visible, k)
+		}
+	}
+	return visible, nil
+}
+
+// Delete implements Store.
+func (s *FaultStore) Delete(key string) error {
+	s.mu.Lock()
+	s.ops[OpDelete]++
+	if s.partitionedLocked(key) {
+		s.faults[FaultPartition]++
+		s.mu.Unlock()
+		return fmt.Errorf("%w: partitioned prefix blocks delete %q", ErrInjected, key)
+	}
+	s.mu.Unlock()
+	return s.inner.Delete(key)
+}
+
+// Compile-time check.
+var _ Store = (*FaultStore)(nil)

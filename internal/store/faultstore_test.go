@@ -1,0 +1,359 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestFaultStorePassThroughWhenQuiet(t *testing.T) {
+	fs := NewFault(NewMem(), 1)
+	if err := fs.Put("a/b", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Get("a/b")
+	if err != nil || string(got) != "v" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	keys, err := fs.List("a/")
+	if err != nil || len(keys) != 1 {
+		t.Fatalf("List = %v, %v", keys, err)
+	}
+	if err := fs.Delete("a/b"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.OpCount(OpPut) != 1 || fs.OpCount(OpGet) != 1 || fs.OpCount(OpList) != 1 || fs.OpCount(OpDelete) != 1 {
+		t.Fatalf("op counters: put=%d get=%d list=%d delete=%d",
+			fs.OpCount(OpPut), fs.OpCount(OpGet), fs.OpCount(OpList), fs.OpCount(OpDelete))
+	}
+	if fs.TotalFaults() != 0 {
+		t.Fatalf("quiet store injected %d faults", fs.TotalFaults())
+	}
+}
+
+func TestFaultStoreInjectedErrors(t *testing.T) {
+	fs := NewFault(NewMem(), 2)
+	fs.SetRates(Rates{PutError: 1, GetError: 1, ListError: 1})
+	if err := fs.Put("k", []byte("v")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Put err = %v", err)
+	}
+	if _, err := fs.Get("k"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Get err = %v", err)
+	}
+	if _, err := fs.List(""); !errors.Is(err, ErrInjected) {
+		t.Fatalf("List err = %v", err)
+	}
+	// The failed Put must not have written.
+	fs.SetRates(Rates{})
+	if _, err := fs.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("failed put persisted: %v", err)
+	}
+	for _, kind := range []string{FaultPutError, FaultGetError, FaultListError} {
+		if fs.FaultCount(kind) != 1 {
+			t.Fatalf("fault %s counted %d times", kind, fs.FaultCount(kind))
+		}
+	}
+}
+
+func TestFaultStoreScopeLimitsBlastRadius(t *testing.T) {
+	fs := NewFault(NewMem(), 11)
+	fs.SetRates(Rates{PutError: 1, GetError: 1, ListError: 1})
+	fs.SetScope("data/")
+
+	// Out-of-scope keys never fault, even at rate 1.
+	if err := fs.Put("heartbeat/x", []byte("v")); err != nil {
+		t.Fatalf("out-of-scope Put faulted: %v", err)
+	}
+	if got, err := fs.Get("heartbeat/x"); err != nil || string(got) != "v" {
+		t.Fatalf("out-of-scope Get = %q, %v", got, err)
+	}
+	if _, err := fs.List("heartbeat/"); err != nil {
+		t.Fatalf("out-of-scope List faulted: %v", err)
+	}
+
+	// In-scope keys fault as configured.
+	if err := fs.Put("data/k", []byte("v")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("in-scope Put err = %v", err)
+	}
+	if _, err := fs.Get("data/k"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("in-scope Get err = %v", err)
+	}
+	if _, err := fs.List("data/"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("in-scope List err = %v", err)
+	}
+
+	// Partitions ignore the scope: they are schedule-driven, not random.
+	fs.SetRates(Rates{})
+	fs.Partition("heartbeat/")
+	if _, err := fs.Get("heartbeat/x"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("partition should ignore scope: %v", err)
+	}
+	fs.HealAll()
+
+	// Clearing the scope re-arms every key.
+	fs.SetRates(Rates{GetError: 1})
+	fs.SetScope()
+	if _, err := fs.Get("heartbeat/x"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("empty scope should cover all keys: %v", err)
+	}
+}
+
+func TestFaultStoreTornWrite(t *testing.T) {
+	fs := NewFault(NewMem(), 3)
+	fs.SetRates(Rates{TornWrite: 1})
+	err := fs.Put("snap", []byte("payload"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write reported %v", err)
+	}
+	// Torn semantics: the error lied — the value IS there.
+	fs.SetRates(Rates{})
+	got, err := fs.Get("snap")
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("torn write did not persist: %q, %v", got, err)
+	}
+	if fs.FaultCount(FaultTornWrite) != 1 {
+		t.Fatalf("torn-write count %d", fs.FaultCount(FaultTornWrite))
+	}
+}
+
+func TestFaultStoreStaleRead(t *testing.T) {
+	fs := NewFault(NewMem(), 4)
+	fs.SetRates(Rates{StaleRead: 1})
+	if err := fs.Put("k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	// First write has no previous value: reads are necessarily fresh.
+	got, err := fs.Get("k")
+	if err != nil || string(got) != "v1" {
+		t.Fatalf("first-value read = %q, %v", got, err)
+	}
+	if err := fs.Put("k", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, err = fs.Get("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v1" {
+		t.Fatalf("stale read returned %q, want previous value v1", got)
+	}
+	if fs.FaultCount(FaultStaleRead) != 1 {
+		t.Fatalf("stale-read count %d", fs.FaultCount(FaultStaleRead))
+	}
+	fs.SetRates(Rates{})
+	got, _ = fs.Get("k")
+	if string(got) != "v2" {
+		t.Fatalf("healed read returned %q", got)
+	}
+}
+
+func TestFaultStorePartition(t *testing.T) {
+	fs := NewFault(NewMem(), 5)
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(fs.Put("livehosts/0", []byte("a")))
+	must(fs.Put("nodestate/1", []byte("b")))
+
+	fs.Partition("livehosts/")
+	if err := fs.Put("livehosts/0", []byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("put into partition: %v", err)
+	}
+	if _, err := fs.Get("livehosts/0"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("get from partition: %v", err)
+	}
+	if _, err := fs.List("livehosts/"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("list inside partition: %v", err)
+	}
+	// A wider list silently omits the partitioned subtree.
+	keys, err := fs.List("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(keys, []string{"nodestate/1"}) {
+		t.Fatalf("wide list = %v", keys)
+	}
+	// Other prefixes unaffected.
+	if _, err := fs.Get("nodestate/1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Partitioned(); !reflect.DeepEqual(got, []string{"livehosts/"}) {
+		t.Fatalf("Partitioned = %v", got)
+	}
+
+	fs.Heal("livehosts/")
+	if _, err := fs.Get("livehosts/0"); err != nil {
+		t.Fatalf("healed get: %v", err)
+	}
+	got, _ := fs.Get("livehosts/0")
+	if string(got) != "a" {
+		t.Fatalf("partition-blocked put leaked: %q", got)
+	}
+	if fs.FaultCount(FaultPartition) == 0 {
+		t.Fatal("partition faults not counted")
+	}
+}
+
+func TestFaultStoreDeterministicAcrossRuns(t *testing.T) {
+	run := func(seed uint64) []string {
+		fs := NewFault(NewMem(), seed)
+		fs.SetRates(Rates{PutError: 0.3, GetError: 0.3, StaleRead: 0.5})
+		var log []string
+		for i := 0; i < 200; i++ {
+			key := fmt.Sprintf("k/%d", i%7)
+			if err := fs.Put(key, []byte(fmt.Sprintf("v%d", i))); err != nil {
+				log = append(log, "putfail")
+			}
+			v, err := fs.Get(key)
+			if err != nil {
+				log = append(log, "getfail")
+			} else {
+				log = append(log, string(v))
+			}
+		}
+		log = append(log, fmt.Sprintf("faults=%d", fs.TotalFaults()))
+		return log
+	}
+	a, b := run(42), run(42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different fault sequences")
+	}
+	c := run(43)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical fault sequences (suspicious)")
+	}
+}
+
+func TestFaultStoreConcurrentUse(t *testing.T) {
+	fs := NewFault(NewMem(), 6)
+	fs.SetRates(Rates{PutError: 0.1, GetError: 0.1, StaleRead: 0.2, TornWrite: 0.1})
+	fs.Partition("blocked/")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				key := fmt.Sprintf("k/%d", (g+i)%5)
+				_ = fs.Put(key, []byte("v"))
+				_, _ = fs.Get(key)
+				_, _ = fs.List("k/")
+				_ = fs.Put("blocked/x", []byte("v"))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if fs.OpCount(OpPut) != 1600 || fs.OpCount(OpGet) != 800 || fs.OpCount(OpList) != 800 {
+		t.Fatalf("op counts put=%d get=%d list=%d", fs.OpCount(OpPut), fs.OpCount(OpGet), fs.OpCount(OpList))
+	}
+	if fs.FaultCount(FaultPartition) != 800 {
+		t.Fatalf("partition faults %d, want 800", fs.FaultCount(FaultPartition))
+	}
+}
+
+// --- FileStore atomic-write regression (satellite) -----------------------
+
+func TestFileStorePartialWriteFaultInvisible(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put("snap/a", []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate writers that crashed mid-write under both temp-name
+	// schemes: a dot-prefixed unique temp and the legacy fixed ".tmp".
+	for _, ghost := range []string{".a.tmp-1234567", "a.tmp"} {
+		if err := os.WriteFile(filepath.Join(dir, "snap", ghost), []byte("par"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := st.Get("snap/a")
+	if err != nil || string(got) != "good" {
+		t.Fatalf("reader saw %q, %v — partial write leaked", got, err)
+	}
+	keys, err := st.List("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(keys, []string{"snap/a"}) {
+		t.Fatalf("List exposes temp garbage: %v", keys)
+	}
+	// A later writer replaces the value cleanly despite the garbage.
+	if err := st.Put("snap/a", []byte("newer")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := st.Get("snap/a"); string(got) != "newer" {
+		t.Fatalf("replacement read %q", got)
+	}
+}
+
+func TestFileStoreConcurrentSameKeyFault(t *testing.T) {
+	st, err := NewFile(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Many writers hammer one key; every read must observe one writer's
+	// complete value, never an interleaving.
+	valid := map[string]bool{}
+	for i := 0; i < 8; i++ {
+		valid[fmt.Sprintf("writer-%d-payload", i)] = true
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errCh := make(chan error, 1)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v := []byte(fmt.Sprintf("writer-%d-payload", i))
+			for j := 0; j < 50; j++ {
+				if err := st.Put("hot", v); err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					return
+				}
+			}
+		}(i)
+	}
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v, err := st.Get("hot")
+			if err != nil {
+				continue // not yet written or mid-rename on a weird FS
+			}
+			if !valid[string(v)] {
+				select {
+				case errCh <- fmt.Errorf("torn value %q", v):
+				default:
+				}
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-readerDone
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+}

@@ -97,10 +97,12 @@ func (s *MemStore) Len() int {
 
 // FileStore persists keys as files under a root directory, one file per
 // key, with atomic replace via rename — the way the paper's daemons write
-// to NFS. Key path separators become subdirectories.
+// to NFS. Key path separators become subdirectories. Temp files carry a
+// leading dot plus unique suffix, so a writer that crashes mid-write can
+// never be confused with a published value: readers skip dot-files and
+// the half-written temp is simply garbage next to the intact old value.
 type FileStore struct {
 	root string
-	mu   sync.Mutex // serializes writers to the same key's temp file name
 }
 
 // NewFile returns a file-backed store rooted at dir, creating it if
@@ -123,22 +125,42 @@ func (s *FileStore) path(key string) (string, error) {
 	return filepath.Join(s.root, clean), nil
 }
 
-// Put implements Store with write-temp-then-rename atomicity.
+// Put implements Store with write-temp-then-rename atomicity. The temp
+// file gets a unique name (so concurrent writers — even from different
+// processes sharing the mount — never interleave into one file), is
+// fsynced before the rename (so a crash cannot publish an empty or
+// partial rename target), and is removed on any failure.
 func (s *FileStore) Put(key string, value []byte) error {
 	p, err := s.path(key)
 	if err != nil {
 		return err
 	}
-	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+	dir := filepath.Dir(p)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("store: mkdir for %q: %w", key, err)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	tmp := p + ".tmp"
-	if err := os.WriteFile(tmp, value, 0o644); err != nil {
-		return fmt.Errorf("store: write %q: %w", key, err)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(p)+".tmp-")
+	if err != nil {
+		return fmt.Errorf("store: temp for %q: %w", key, err)
+	}
+	tmp := f.Name()
+	fail := func(stage string, err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: %s %q: %w", stage, key, err)
+	}
+	if _, err := f.Write(value); err != nil {
+		return fail("write", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail("sync", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: close %q: %w", key, err)
 	}
 	if err := os.Rename(tmp, p); err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("store: rename %q: %w", key, err)
 	}
 	return nil
@@ -167,7 +189,10 @@ func (s *FileStore) List(prefix string) ([]string, error) {
 		if err != nil {
 			return err
 		}
-		if info.IsDir() || strings.HasSuffix(path, ".tmp") {
+		base := filepath.Base(path)
+		// Skip in-flight and abandoned temp files: current writers use
+		// dot-prefixed unique names; older layouts used a ".tmp" suffix.
+		if info.IsDir() || strings.HasPrefix(base, ".") || strings.HasSuffix(path, ".tmp") {
 			return nil
 		}
 		rel, err := filepath.Rel(s.root, path)
