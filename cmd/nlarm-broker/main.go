@@ -18,6 +18,7 @@ import (
 	"nlarm/internal/jobqueue"
 	"nlarm/internal/metrics"
 	"nlarm/internal/monitor"
+	"nlarm/internal/obs"
 	"nlarm/internal/simtime"
 	"nlarm/internal/store"
 	"nlarm/internal/world"
@@ -32,6 +33,7 @@ func main() {
 		latSec   = flag.Duration("latency-period", time.Minute, "LatencyD sweep period")
 		bwSec    = flag.Duration("bandwidth-period", 5*time.Minute, "BandwidthD sweep period")
 		retrySec = flag.Duration("queue-retry", 30*time.Second, "job-queue retry period")
+		dumpMet  = flag.Bool("dump-metrics", false, "render the instrumentation registry to stdout on shutdown")
 	)
 	flag.Parse()
 
@@ -55,25 +57,31 @@ func main() {
 	stopWorld := w.Attach(rt)
 	defer stopWorld()
 
-	mgr := monitor.NewManager(&monitor.WorldProber{W: w}, st, monitor.Config{
+	// One registry spans the whole stack; the server's "metrics" action
+	// and --dump-metrics both read it.
+	reg := obs.NewRegistry()
+	ist := store.Instrument(st, reg, rt.Now)
+
+	mgr := monitor.NewManager(&monitor.WorldProber{W: w}, ist, monitor.Config{
 		NodeStatePeriod: *stateSec,
 		LatencyPeriod:   *latSec,
 		BandwidthPeriod: *bwSec,
+		Obs:             reg,
 	})
 	if err := mgr.Start(rt); err != nil {
 		fatal(err)
 	}
 	defer mgr.Stop()
 
-	b := broker.New(st, rt, broker.Config{Seed: *seed})
+	b := broker.New(ist, rt, broker.Config{Seed: *seed, Obs: reg})
 	// Job submission: queued jobs run as simulated MPI jobs in the world.
-	queue := jobqueue.New(b, rt, jobqueue.Config{RetryPeriod: *retrySec})
+	queue := jobqueue.New(b, rt, jobqueue.Config{RetryPeriod: *retrySec, Obs: reg})
 	if err := queue.Start(); err != nil {
 		fatal(err)
 	}
 	defer queue.Stop()
 	mgrJobs := jobqueue.NewWorldManager(queue, w).WithPredictions(func() (*metrics.Snapshot, error) {
-		return monitor.ReadSnapshot(st, rt.Now())
+		return monitor.ReadSnapshot(ist, rt.Now())
 	})
 	srv, err := broker.NewManagedServer(b, mgrJobs, *addr)
 	if err != nil {
@@ -90,6 +98,12 @@ func main() {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	fmt.Println("nlarm-broker: shutting down")
+	if *dumpMet {
+		if fs, ok := st.(*store.FaultStore); ok {
+			store.SyncFaults(fs, reg)
+		}
+		fmt.Print(reg.Render())
+	}
 }
 
 func storeDesc(dir string) string {

@@ -13,11 +13,13 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nlarm/internal/alloc"
 	"nlarm/internal/metrics"
 	"nlarm/internal/monitor"
+	"nlarm/internal/obs"
 	"nlarm/internal/rng"
 	"nlarm/internal/simtime"
 	"nlarm/internal/store"
@@ -99,6 +101,13 @@ type Config struct {
 	SnapshotMaxAge time.Duration
 	// Seed drives policy randomness.
 	Seed uint64
+	// Obs is the instrumentation registry the broker records into. Nil
+	// makes the broker create a private one (so the "metrics" wire action
+	// always has data); pass a shared registry to aggregate the whole
+	// stack's metrics in one place.
+	Obs *obs.Registry
+	// DecisionLog bounds the allocation decision ring. Default 256.
+	DecisionLog int
 }
 
 func (c Config) withDefaults() Config {
@@ -110,6 +119,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.Obs == nil {
+		c.Obs = obs.NewRegistry()
+	}
+	if c.DecisionLog <= 0 {
+		c.DecisionLog = 256
 	}
 	return c
 }
@@ -140,6 +155,12 @@ type Broker struct {
 	lastGoodMu sync.Mutex
 	lastGood   *metrics.Snapshot
 	degraded   uint64 // responses served from lastGood
+
+	// Observability: counters/histograms plus the bounded decision log
+	// served by the "metrics"/"decisions" wire actions.
+	obs       *obs.Registry
+	decisions *obs.Ring[DecisionRecord]
+	decSeq    atomic.Uint64
 }
 
 // modelKey identifies one cached cost model: the snapshot's content
@@ -156,12 +177,14 @@ type modelKey struct {
 func New(st store.Store, rt simtime.Runtime, cfg Config) *Broker {
 	cfg = cfg.withDefaults()
 	b := &Broker{
-		cfg:      cfg,
-		st:       st,
-		rt:       rt,
-		rnd:      rng.New(cfg.Seed),
-		policies: make(map[string]alloc.Policy),
-		models:   make(map[modelKey]*alloc.CostModel),
+		cfg:       cfg,
+		st:        st,
+		rt:        rt,
+		rnd:       rng.New(cfg.Seed),
+		policies:  make(map[string]alloc.Policy),
+		models:    make(map[modelKey]*alloc.CostModel),
+		obs:       cfg.Obs,
+		decisions: obs.NewRing[DecisionRecord](cfg.DecisionLog),
 	}
 	for _, p := range []alloc.Policy{alloc.Random{}, alloc.Sequential{}, alloc.LoadAware{}, alloc.NetLoadAware{}} {
 		b.policies[p.Name()] = p
@@ -259,7 +282,7 @@ func (b *Broker) DegradedServed() uint64 {
 // monitoring content is unchanged since it was built. Any change in the
 // snapshot fingerprint (the monitor republished) invalidates the whole
 // cache.
-func (b *Broker) costModel(snap *metrics.Snapshot, w alloc.Weights, forecast bool) *alloc.CostModel {
+func (b *Broker) costModel(snap *metrics.Snapshot, w alloc.Weights, forecast bool) (*alloc.CostModel, bool) {
 	fp := snap.Fingerprint()
 	key := modelKey{fp: fp, weights: w, forecast: forecast}
 	b.modelMu.Lock()
@@ -270,12 +293,14 @@ func (b *Broker) costModel(snap *metrics.Snapshot, w alloc.Weights, forecast boo
 	}
 	if m, ok := b.models[key]; ok {
 		b.cacheHits++
-		return m
+		b.obs.Counter("broker.modelcache.hits").Inc()
+		return m, true
 	}
 	m := alloc.NewCostModel(snap, w, forecast)
 	b.models[key] = m
 	b.cacheMisses++
-	return m
+	b.obs.Counter("broker.modelcache.misses").Inc()
+	return m, false
 }
 
 // ModelCacheStats reports cost-model cache hits and misses since the
@@ -304,8 +329,56 @@ func clusterLoadPerCore(snap *metrics.Snapshot) float64 {
 	return totalLoad / totalCores
 }
 
-// Allocate serves one request.
+// Allocate serves one request, recording a structured decision record
+// (request shape, candidate count, chosen nodes with per-node CL and
+// pairwise NL contributions, cache hit, degraded flag) for every outcome
+// — success, wait, or error.
 func (b *Broker) Allocate(req Request) (Response, error) {
+	start := b.rt.Now()
+	resp, model, cacheHit, err := b.allocate(req)
+
+	rec := DecisionRecord{
+		At:          start,
+		Policy:      req.Policy,
+		Procs:       req.Procs,
+		PPN:         req.PPN,
+		Alpha:       req.Alpha,
+		Beta:        req.Beta,
+		UseForecast: req.UseForecast,
+		Forced:      req.Force,
+		CacheHit:    cacheHit,
+	}
+	if rec.Policy == "" {
+		rec.Policy = alloc.NetLoadAware{}.Name()
+	}
+	// Degraded accounting must match DegradedServed exactly, so these come
+	// from the (possibly partial) response even when the request failed.
+	rec.Degraded = resp.Degraded
+	rec.DegradedReason = resp.DegradedReason
+	rec.SnapshotAge = resp.SnapshotAge
+	rec.ClusterLoad = resp.ClusterLoad
+	if err != nil {
+		rec.Error = err.Error()
+	} else {
+		rec.Recommendation = resp.Recommendation
+		rec.Nodes = resp.Nodes
+		rec.TotalLoad = resp.Allocation.TotalLoad
+		if model != nil {
+			rec.Candidates = model.Len()
+		}
+		rec.Contributions, rec.ComputeCost, rec.NetworkCost = contributions(model, resp.Allocation)
+	}
+	b.recordDecision(rec)
+	b.obs.Histogram("broker.allocate.seconds").Observe(b.rt.Now().Sub(start).Seconds())
+	if err != nil {
+		return Response{}, err
+	}
+	return resp, nil
+}
+
+// allocate is Allocate's core, also reporting the priced cost model and
+// whether it came from the cache (for the decision record).
+func (b *Broker) allocate(req Request) (Response, *alloc.CostModel, bool, error) {
 	if req.Policy == "" {
 		req.Policy = alloc.NetLoadAware{}.Name()
 	}
@@ -317,12 +390,12 @@ func (b *Broker) Allocate(req Request) (Response, error) {
 	}
 	b.mu.Unlock()
 	if !ok {
-		return Response{}, fmt.Errorf("broker: unknown policy %q", req.Policy)
+		return Response{}, nil, false, fmt.Errorf("broker: unknown policy %q", req.Policy)
 	}
 
 	snap, degradedReason, err := b.acquireSnapshot()
 	if err != nil {
-		return Response{}, err
+		return Response{}, nil, false, err
 	}
 
 	loadPerCore := clusterLoadPerCore(snap)
@@ -336,7 +409,7 @@ func (b *Broker) Allocate(req Request) (Response, error) {
 	}
 	if loadPerCore > b.cfg.WaitLoadPerCore && !req.Force {
 		resp.Recommendation = RecommendWait
-		return resp, nil
+		return resp, nil, false, nil
 	}
 
 	allocReq := alloc.Request{
@@ -345,17 +418,21 @@ func (b *Broker) Allocate(req Request) (Response, error) {
 	}
 	validated, err := allocReq.Validate()
 	if err != nil {
-		return Response{}, err
+		// Error returns past this point keep resp: its Degraded fields
+		// already reflect how the snapshot was served, and the decision
+		// record must see them even for failed requests.
+		return resp, nil, false, err
 	}
 	var model *alloc.CostModel
+	cacheHit := false
 	if _, ok := pol.(alloc.ModelPolicy); ok {
-		model = b.costModel(snap, validated.Weights, validated.UseForecast)
+		model, cacheHit = b.costModel(snap, validated.Weights, validated.UseForecast)
 	}
 	var a alloc.Allocation
 	if nla, ok := pol.(alloc.NetLoadAware); ok && req.Explain {
 		best, cands, err := nla.AllocateExplainModel(model, allocReq)
 		if err != nil {
-			return Response{}, err
+			return resp, model, cacheHit, err
 		}
 		a = alloc.Allocation{Policy: nla.Name(), Nodes: best.Nodes, Procs: best.Procs, TotalLoad: best.TotalLoad}
 		for _, c := range cands {
@@ -369,12 +446,12 @@ func (b *Broker) Allocate(req Request) (Response, error) {
 	} else if mp, ok := pol.(alloc.ModelPolicy); ok {
 		a, err = mp.AllocateModel(model, allocReq, r)
 		if err != nil {
-			return Response{}, err
+			return resp, model, cacheHit, err
 		}
 	} else {
 		a, err = pol.Allocate(snap, allocReq, r)
 		if err != nil {
-			return Response{}, err
+			return resp, model, cacheHit, err
 		}
 	}
 	resp.Recommendation = RecommendAllocate
@@ -384,8 +461,11 @@ func (b *Broker) Allocate(req Request) (Response, error) {
 	for _, n := range a.Nodes {
 		resp.Hostfile = append(resp.Hostfile, fmt.Sprintf("%s:%d", snap.Nodes[n].Hostname, a.Procs[n]))
 	}
-	return resp, nil
+	return resp, model, cacheHit, nil
 }
+
+// Obs returns the broker's instrumentation registry (never nil).
+func (b *Broker) Obs() *obs.Registry { return b.obs }
 
 // oldestNodeAge returns the age of the freshest node record (how stale
 // the best data is), or -1 when there are no records.

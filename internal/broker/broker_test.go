@@ -29,7 +29,7 @@ type rig struct {
 	b     *Broker
 }
 
-func newRig(t *testing.T, seed uint64, bg loadgen.Config) *rig {
+func newRig(t testing.TB, seed uint64, bg loadgen.Config) *rig {
 	t.Helper()
 	cl, err := cluster.BuildUniform(2, 4, 8, 3.0, 8192)
 	if err != nil {

@@ -1,0 +1,90 @@
+package broker
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net"
+	"testing"
+	"time"
+
+	"nlarm/internal/loadgen"
+)
+
+// FuzzWireProtocol throws arbitrary bytes at the newline-JSON server:
+// malformed JSON, unknown actions, oversized lines, truncated requests,
+// binary garbage. The contract under fuzzing is that every complete line
+// gets exactly one JSON response (ok or error), the connection always
+// terminates (no goroutine pinned by a hostile client), and the server
+// never panics — a panic anywhere crashes the whole test process, which
+// the fuzzer reports as a failing input.
+func FuzzWireProtocol(f *testing.F) {
+	r := newRig(f, 31, loadgen.Config{})
+	srv, err := NewServerOpts(r.b, nil, "127.0.0.1:0", ServerOptions{
+		ReadTimeout:  500 * time.Millisecond,
+		MaxLineBytes: 64 * 1024,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(func() { srv.Close() })
+	addr := srv.Addr()
+
+	f.Add([]byte(`{"action":"health"}` + "\n"))
+	f.Add([]byte(`{"action":"policies"}` + "\n"))
+	f.Add([]byte(`{"action":"metrics"}` + "\n"))
+	f.Add([]byte(`{"action":"decisions","limit":3}` + "\n"))
+	f.Add([]byte(`{"action":"allocate","request":{"procs":4,"force":true}}` + "\n"))
+	f.Add([]byte(`{"action":"submit"}` + "\n"))
+	f.Add([]byte(`{"action":"job","job_id":-1}` + "\n"))
+	f.Add([]byte(`{"action":"nope"}` + "\n"))
+	f.Add([]byte("not json at all\n"))
+	f.Add([]byte(`{"action":"health"`)) // truncated, no newline
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte{0x00, 0xff, 0xfe, '\n'})
+	f.Add([]byte(`{"action":1234}` + "\n"))
+	f.Add([]byte(`{"action":"allocate","request":{"procs":-5}}` + "\n"))
+	f.Add(append(bytes.Repeat([]byte("x"), 128*1024), '\n')) // beyond MaxLineBytes
+	f.Add([]byte(`{"action":"health"}` + "\n" + `{"action":"policies"}` + "\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Skip("dial failed (fd pressure)")
+		}
+		defer conn.Close()
+		// Hard deadline on everything: a hang is a failure, not a wait.
+		conn.SetDeadline(time.Now().Add(5 * time.Second))
+
+		if _, err := conn.Write(data); err != nil {
+			return // server already rejected us (e.g. mid-oversized-line close)
+		}
+		// Half-close so the server sees EOF after our input and can drain.
+		if tc, ok := conn.(*net.TCPConn); ok {
+			_ = tc.CloseWrite()
+		}
+		sc := bufio.NewScanner(conn)
+		sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			var resp wireResponse
+			if err := json.Unmarshal(line, &resp); err != nil {
+				t.Fatalf("server emitted non-JSON line %q: %v", line, err)
+			}
+			if !resp.OK && resp.Error == "" {
+				t.Fatalf("response neither ok nor error: %q", line)
+			}
+		}
+		// Any scanner error other than a clean close means the *client*
+		// deadline fired — i.e. the server hung instead of closing.
+		if err := sc.Err(); err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				t.Fatalf("server neither answered nor closed within deadline (input %q)", data)
+			}
+			// Connection resets are acceptable teardown for hostile input.
+		}
+	})
+}

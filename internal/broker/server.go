@@ -8,16 +8,21 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"nlarm/internal/obs"
 )
 
 // wireRequest is the newline-delimited JSON protocol envelope.
 type wireRequest struct {
-	// Action is "allocate", "policies", "health", or — when the server
-	// has a Manager — "submit", "job", "queue".
+	// Action is "allocate", "policies", "health", "metrics", "decisions",
+	// or — when the server has a Manager — "submit", "job", "queue".
 	Action  string         `json:"action"`
 	Request Request        `json:"request,omitempty"`
 	Submit  *SubmitRequest `json:"submit,omitempty"`
 	JobID   int            `json:"job_id,omitempty"`
+	// Limit caps how many decision records a "decisions" action returns
+	// (0 = all retained).
+	Limit int `json:"limit,omitempty"`
 }
 
 type wireResponse struct {
@@ -29,14 +34,43 @@ type wireResponse struct {
 	JobID    int         `json:"job_id,omitempty"`
 	Job      *JobInfo    `json:"job,omitempty"`
 	Queue    *QueueStats `json:"queue,omitempty"`
+	// Metrics is the structured registry snapshot and MetricsText its
+	// deterministic rendering ("metrics" action).
+	Metrics     *obs.Snapshot `json:"metrics,omitempty"`
+	MetricsText string        `json:"metrics_text,omitempty"`
+	// Decisions is the recent allocation decision log ("decisions" action).
+	Decisions []DecisionRecord `json:"decisions,omitempty"`
+}
+
+// ServerOptions harden the wire protocol against misbehaving clients.
+type ServerOptions struct {
+	// ReadTimeout is the per-line read deadline: a connection that sends
+	// no complete line for this long is closed, so a stalled client can
+	// never pin a serving goroutine forever. Default 2 minutes; negative
+	// disables the deadline.
+	ReadTimeout time.Duration
+	// MaxLineBytes caps one request line. A longer line gets a single
+	// error response, then the connection closes. Default 1 MiB.
+	MaxLineBytes int
+}
+
+func (o ServerOptions) withDefaults() ServerOptions {
+	if o.ReadTimeout == 0 {
+		o.ReadTimeout = 2 * time.Minute
+	}
+	if o.MaxLineBytes <= 0 {
+		o.MaxLineBytes = 1 << 20
+	}
+	return o
 }
 
 // Server exposes a Broker over TCP with a newline-delimited JSON
 // protocol: one request object per line, one response object per line.
 type Server struct {
-	b   *Broker
-	mgr Manager // optional job-submission backend
-	ln  net.Listener
+	b    *Broker
+	mgr  Manager // optional job-submission backend
+	ln   net.Listener
+	opts ServerOptions
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -53,11 +87,16 @@ func NewServer(b *Broker, addr string) (*Server, error) {
 // NewManagedServer is NewServer with a job-submission Manager attached;
 // the submit/job/queue wire actions are enabled when mgr is non-nil.
 func NewManagedServer(b *Broker, mgr Manager, addr string) (*Server, error) {
+	return NewServerOpts(b, mgr, addr, ServerOptions{})
+}
+
+// NewServerOpts is NewManagedServer with explicit protocol limits.
+func NewServerOpts(b *Broker, mgr Manager, addr string, opts ServerOptions) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("broker: listen %s: %w", addr, err)
 	}
-	s := &Server{b: b, mgr: mgr, ln: ln, conns: make(map[net.Conn]struct{})}
+	s := &Server{b: b, mgr: mgr, ln: ln, opts: opts.withDefaults(), conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -95,9 +134,26 @@ func (s *Server) serveConn(conn net.Conn) {
 		conn.Close()
 	}()
 	scanner := bufio.NewScanner(conn)
-	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	// Scanner's limit is max(limit, cap(buf)): keep the initial buffer at
+	// or below MaxLineBytes so the cap actually binds.
+	bufCap := 64 * 1024
+	if bufCap > s.opts.MaxLineBytes {
+		bufCap = s.opts.MaxLineBytes
+	}
+	scanner.Buffer(make([]byte, 0, bufCap), s.opts.MaxLineBytes)
 	enc := json.NewEncoder(conn)
-	for scanner.Scan() {
+	for {
+		if s.opts.ReadTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.opts.ReadTimeout))
+		}
+		if !scanner.Scan() {
+			// An over-long line is a protocol violation, not a transport
+			// failure: answer it once, then close cleanly.
+			if errors.Is(scanner.Err(), bufio.ErrTooLong) {
+				_ = enc.Encode(wireResponse{Error: fmt.Sprintf("bad request: line exceeds %d bytes", s.opts.MaxLineBytes)})
+			}
+			return
+		}
 		line := scanner.Bytes()
 		if len(line) == 0 {
 			continue
@@ -127,6 +183,15 @@ func (s *Server) handle(req wireRequest) wireResponse {
 		return wireResponse{OK: true, Policies: s.b.Policies()}
 	case "health":
 		return wireResponse{OK: true, Health: "ok"}
+	case "metrics":
+		snap := s.b.Obs().Snapshot()
+		return wireResponse{OK: true, Metrics: snap, MetricsText: snap.Render()}
+	case "decisions":
+		recs := s.b.Decisions(req.Limit)
+		if recs == nil {
+			recs = []DecisionRecord{}
+		}
+		return wireResponse{OK: true, Decisions: recs}
 	case "submit":
 		if s.mgr == nil {
 			return wireResponse{Error: "server has no job manager"}
@@ -293,6 +358,35 @@ func (c *Client) QueueStats() (QueueStats, error) {
 		return QueueStats{}, errors.New("broker: empty queue stats")
 	}
 	return *resp.Queue, nil
+}
+
+// Metrics fetches the server's instrumentation snapshot and its
+// deterministic text rendering.
+func (c *Client) Metrics() (*obs.Snapshot, string, error) {
+	resp, err := c.roundTrip(wireRequest{Action: "metrics"})
+	if err != nil {
+		return nil, "", err
+	}
+	if resp.Error != "" {
+		return nil, "", errors.New(resp.Error)
+	}
+	if resp.Metrics == nil {
+		return nil, "", errors.New("broker: empty metrics")
+	}
+	return resp.Metrics, resp.MetricsText, nil
+}
+
+// Decisions fetches the most recent limit allocation decision records
+// (0 = all the server retains), oldest first.
+func (c *Client) Decisions(limit int) ([]DecisionRecord, error) {
+	resp, err := c.roundTrip(wireRequest{Action: "decisions", Limit: limit})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Error != "" {
+		return nil, errors.New(resp.Error)
+	}
+	return resp.Decisions, nil
 }
 
 // Close closes the client connection.

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"nlarm/internal/monitor"
+	"nlarm/internal/obs"
 	"nlarm/internal/rng"
 	"nlarm/internal/simtime"
 	"nlarm/internal/store"
@@ -148,6 +149,10 @@ type Injector struct {
 	Mgr    *monitor.Manager
 	World  *world.World
 	FStore *store.FaultStore
+	// Obs, when set, receives one chaos.<kind>.total counter increment and
+	// one event per applied (counted) fault, mirroring the exact-count
+	// accessors so reports can reconcile the two paths.
+	Obs *obs.Registry
 
 	mu            sync.Mutex
 	armedAt       time.Time
@@ -280,6 +285,11 @@ func (in *Injector) Apply(ev Event, now time.Time) {
 	}
 	in.log = append(in.log, line)
 	in.mu.Unlock()
+
+	if applied {
+		in.Obs.Counter("chaos." + string(ev.Kind) + ".total").Inc()
+		in.Obs.Emit(now, "chaos."+string(ev.Kind), line)
+	}
 }
 
 // WorkerCrashes returns how many running workers were crashed.

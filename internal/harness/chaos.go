@@ -12,6 +12,7 @@ import (
 	"nlarm/internal/jobqueue"
 	"nlarm/internal/monitor"
 	"nlarm/internal/mpisim"
+	"nlarm/internal/obs"
 	"nlarm/internal/rng"
 	"nlarm/internal/simtime"
 	"nlarm/internal/store"
@@ -60,6 +61,12 @@ type ChaosReport struct {
 	JobsSubmitted  int
 	JobsDone       int
 	JobsFailed     int
+
+	// Metrics is the shared instrumentation registry's final snapshot;
+	// MetricsText is its deterministic rendering, embedded in Render so
+	// the report carries the full observability picture of the run.
+	Metrics     *obs.Snapshot
+	MetricsText string
 }
 
 // InjectedFaults counts every fault the scenario put into the system:
@@ -107,6 +114,12 @@ func (r *ChaosReport) Render() string {
 		r.WorkerCrashes, r.MasterKills, r.SlaveKills, r.Relaunches, r.Promotions)
 	fmt.Fprintf(&b, "store faults=%d degradedServes=%d jobs=%d/%d done, %d failed\n",
 		r.StoreFaults, r.DegradedServes, r.JobsDone, r.JobsSubmitted, r.JobsFailed)
+	if r.MetricsText != "" {
+		b.WriteString("metrics:\n")
+		for _, line := range strings.Split(strings.TrimRight(r.MetricsText, "\n"), "\n") {
+			fmt.Fprintf(&b, "  %s\n", line)
+		}
+	}
 	return b.String()
 }
 
@@ -181,6 +194,10 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 	stopWorld := w.Attach(sched)
 	defer stopWorld()
 
+	// One registry is shared by every layer; at the end its counters must
+	// reconcile exactly with the injector's and the report's own counts.
+	reg := obs.NewRegistry()
+
 	fs := store.NewFault(store.NewMem(), cfg.Seed^0x9e3779b97f4a7c15)
 	// Probabilistic corruption stays on monitoring data; control-plane
 	// keys (heartbeats, lease) stay honest so recovery accounting is
@@ -188,16 +205,19 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 	fs.SetScope(monitor.KeyLivehostsPrefix, monitor.KeyNodeStatePrefix,
 		"latency/", "bandwidth/")
 	fs.SetRates(store.Rates{TornWrite: 0.02, StaleRead: 0.05})
+	ist := store.Instrument(fs, reg, sched.Now)
 
 	pr := &monitor.WorldProber{W: w}
-	mgr := monitor.NewManager(pr, fs, chaosMonitorConfig())
+	mcfg := chaosMonitorConfig()
+	mcfg.Obs = reg
+	mgr := monitor.NewManager(pr, ist, mcfg)
 	if err := mgr.Start(sched); err != nil {
 		return nil, err
 	}
 	defer mgr.Stop()
 
-	b := broker.New(fs, sched, broker.Config{Seed: cfg.Seed + 7, WaitLoadPerCore: 100})
-	q := jobqueue.New(b, sched, jobqueue.Config{RetryPeriod: 3 * time.Second})
+	b := broker.New(ist, sched, broker.Config{Seed: cfg.Seed + 7, WaitLoadPerCore: 100, Obs: reg})
+	q := jobqueue.New(b, sched, jobqueue.Config{RetryPeriod: 3 * time.Second, Obs: reg})
 	if err := q.Start(); err != nil {
 		return nil, err
 	}
@@ -233,7 +253,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 		Nodes:    allNodes,
 	})
 	report.Events = events
-	inj := &chaos.Injector{Mgr: mgr, World: w, FStore: fs}
+	inj := &chaos.Injector{Mgr: mgr, World: w, FStore: fs, Obs: reg}
 	inj.Arm(sched, events)
 	defer inj.Disarm()
 
@@ -347,6 +367,28 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 	report.StoreFaults = fs.TotalFaults()
 	report.DegradedServes = b.DegradedServed()
 
+	// Freeze the observability picture and reconcile it against the
+	// independently-kept counts: the registry is fed by the components
+	// themselves (supervisors, broker, queue, injector), so any drift
+	// between the two paths is a bookkeeping bug.
+	store.SyncFaults(fs, reg)
+	report.Metrics = reg.Snapshot()
+	report.MetricsText = report.Metrics.Render()
+	ctr := report.Metrics.Counters
+	checkCounter := func(name string, want uint64) {
+		got := ctr[name]
+		check("obs-"+name, got == want, fmt.Sprintf("counter=%d want=%d", got, want))
+	}
+	checkCounter("monitor.relaunches.total", uint64(report.Relaunches))
+	checkCounter("monitor.promotions.total", uint64(report.Promotions))
+	checkCounter("chaos.crash-worker.total", uint64(report.WorkerCrashes))
+	checkCounter("chaos.kill-master.total", uint64(report.MasterKills))
+	checkCounter("chaos.kill-slave.total", uint64(report.SlaveKills))
+	checkCounter("broker.allocate.degraded", report.DegradedServes)
+	faultsGauge := report.Metrics.Gauges["store.faults.total"]
+	check("obs-store.faults.total", faultsGauge == float64(report.StoreFaults),
+		fmt.Sprintf("gauge=%v want=%d", faultsGauge, report.StoreFaults))
+
 	for _, d := range mgr.Workers() {
 		if !d.Running() {
 			check("workers-recovered", false, d.Name()+" not running")
@@ -378,6 +420,8 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 	}
 	check("all-jobs-done", report.JobsDone == report.JobsSubmitted,
 		fmt.Sprintf("done=%d submitted=%d", report.JobsDone, report.JobsSubmitted))
+	checkCounter("jobqueue.submitted.total", uint64(report.JobsSubmitted))
+	checkCounter("jobqueue.done.total", uint64(report.JobsDone))
 
 	return report, nil
 }

@@ -1,0 +1,41 @@
+package harness
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestChaosReportRenderGolden pins ChaosReport.Render byte-for-byte for
+// one small seeded run — the report (fault log, checks, recovery
+// accounting, and the embedded obs metrics section) is a public artifact,
+// so format drift must be a deliberate, reviewed change (-update).
+func TestChaosReportRenderGolden(t *testing.T) {
+	report, err := RunChaos(ChaosConfig{Seed: 11, Windows: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := []byte(report.Render())
+
+	path := filepath.Join("testdata", "chaos_report_seed11.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("chaos report render drifted from %s (rerun with -update after intentional changes)\n--- got ---\n%s", path, got)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"nlarm/internal/broker"
+	"nlarm/internal/obs"
 	"nlarm/internal/simtime"
 )
 
@@ -68,6 +69,9 @@ type Config struct {
 	// MaxAttempts fails a job after this many allocation attempts
 	// (0 = unlimited).
 	MaxAttempts int
+	// Obs is the instrumentation registry for queue counters and the
+	// queue-wait / run-time histograms. Nil disables recording.
+	Obs *obs.Registry
 }
 
 // Queue is a FIFO job queue over a broker. Safe for concurrent use.
@@ -139,6 +143,7 @@ func (q *Queue) Submit(spec Spec) (int, error) {
 	q.specs[id] = spec
 	q.pending = append(q.pending, j)
 	q.mu.Unlock()
+	q.cfg.Obs.Counter("jobqueue.submitted.total").Inc()
 	q.tryLaunch(q.rt.Now())
 	return id, nil
 }
@@ -174,6 +179,7 @@ func (q *Queue) tryLaunch(now time.Time) {
 				q.pending = q.pending[1:]
 				delete(q.specs, j.ID)
 				q.mu.Unlock()
+				q.cfg.Obs.Counter("jobqueue.failed.total").Inc()
 				continue
 			}
 			q.mu.Unlock()
@@ -181,6 +187,7 @@ func (q *Queue) tryLaunch(now time.Time) {
 		}
 		if resp.Recommendation == broker.RecommendWait {
 			j.WaitAnswers++
+			q.cfg.Obs.Counter("jobqueue.waits.total").Inc()
 			if q.cfg.MaxAttempts > 0 && j.Attempts >= q.cfg.MaxAttempts {
 				j.State = StateFailed
 				j.Err = fmt.Errorf("jobqueue: gave up after %d wait answers", j.WaitAnswers)
@@ -188,6 +195,7 @@ func (q *Queue) tryLaunch(now time.Time) {
 				q.pending = q.pending[1:]
 				delete(q.specs, j.ID)
 				q.mu.Unlock()
+				q.cfg.Obs.Counter("jobqueue.failed.total").Inc()
 				continue
 			}
 			q.mu.Unlock()
@@ -197,10 +205,13 @@ func (q *Queue) tryLaunch(now time.Time) {
 		j.State = StateRunning
 		j.Started = now
 		j.Response = resp
+		waited := now.Sub(j.Submitted)
 		q.pending = q.pending[1:]
 		delete(q.specs, j.ID)
 		q.running++
 		q.mu.Unlock()
+		q.cfg.Obs.Counter("jobqueue.launched.total").Inc()
+		q.cfg.Obs.Histogram("jobqueue.wait.seconds").Observe(waited.Seconds())
 
 		id := j.ID
 		done := func(runErr error) { q.finish(id, runErr) }
@@ -225,8 +236,16 @@ func (q *Queue) finish(id int, err error) {
 		j.State = StateDone
 	}
 	j.Finished = q.rt.Now()
+	ran := j.Finished.Sub(j.Started)
+	failed := j.State == StateFailed
 	q.running--
 	q.mu.Unlock()
+	if failed {
+		q.cfg.Obs.Counter("jobqueue.failed.total").Inc()
+	} else {
+		q.cfg.Obs.Counter("jobqueue.done.total").Inc()
+	}
+	q.cfg.Obs.Histogram("jobqueue.run.seconds").Observe(ran.Seconds())
 	// A finished job may have freed the nodes the head is waiting for.
 	q.tryLaunch(q.rt.Now())
 }

@@ -135,6 +135,8 @@ func (m *CentralMonitor) masterTick(now time.Time) {
 				m.relaunches++
 				m.roleMu.Unlock()
 				writeHeartbeat(m.st, d.Name(), now)
+				m.obs.Counter("monitor.relaunches.total").Inc()
+				m.obs.Emit(now, "relaunch", d.Name()+" by "+m.name)
 			}
 		}
 	}
@@ -156,6 +158,8 @@ func (m *CentralMonitor) slaveTick(now time.Time) {
 	m.promotions++
 	m.roleMu.Unlock()
 	_ = putJSON(m.st, KeyLeader, leaderLease{ID: m.name, At: now})
+	m.obs.Counter("monitor.promotions.total").Inc()
+	m.obs.Emit(now, "promotion", m.name)
 	if m.hooks.OnPromoted != nil {
 		m.hooks.OnPromoted(m)
 	}

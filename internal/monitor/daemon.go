@@ -3,9 +3,11 @@ package monitor
 import (
 	"encoding/json"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
+	"nlarm/internal/obs"
 	"nlarm/internal/simtime"
 	"nlarm/internal/store"
 )
@@ -92,12 +94,32 @@ type Daemon interface {
 // daemonBase implements the common lifecycle; concrete daemons embed it
 // and provide the tick function.
 type daemonBase struct {
-	mu     sync.Mutex
-	name   string
-	period time.Duration
-	st     store.Store
-	cancel simtime.CancelFunc
-	ticks  int
+	mu       sync.Mutex
+	name     string
+	period   time.Duration
+	st       store.Store
+	cancel   simtime.CancelFunc
+	ticks    int
+	obs      *obs.Registry // nil = recording disabled
+	lastTick time.Time
+}
+
+// SetObs attaches an instrumentation registry; each tick then records a
+// publish counter and the achieved inter-publish interval per daemon
+// family (monitor.publish.<kind>, monitor.publish.interval.<kind>). Call
+// before Start; nil disables recording.
+func (d *daemonBase) SetObs(reg *obs.Registry) {
+	d.mu.Lock()
+	d.obs = reg
+	d.mu.Unlock()
+}
+
+// kind is the daemon family for metric names: "nodestate/3" -> "nodestate".
+func (d *daemonBase) kind() string {
+	if i := strings.IndexByte(d.name, '/'); i >= 0 {
+		return d.name[:i]
+	}
+	return d.name
 }
 
 func (d *daemonBase) Name() string { return d.name }
@@ -126,8 +148,11 @@ func (d *daemonBase) start(rt simtime.Runtime, tick func(now time.Time)) error {
 	d.cancel = rt.Every(d.period, d.name, func(now time.Time) {
 		d.mu.Lock()
 		running := d.cancel != nil
+		reg := d.obs
+		last := d.lastTick
 		if running {
 			d.ticks++
+			d.lastTick = now
 		}
 		d.mu.Unlock()
 		if !running {
@@ -135,6 +160,14 @@ func (d *daemonBase) start(rt simtime.Runtime, tick func(now time.Time)) error {
 		}
 		tick(now)
 		writeHeartbeat(d.st, d.name, now)
+		// Publish accounting: count per daemon family, and gauge the
+		// achieved cadence so a stalled or slow family is visible as a
+		// widening interval relative to its configured period.
+		kind := d.kind()
+		reg.Counter("monitor.publish." + kind).Inc()
+		if !last.IsZero() {
+			reg.Gauge("monitor.publish.interval." + kind).Set(now.Sub(last).Seconds())
+		}
 	})
 	// Write an immediate heartbeat so the supervisor does not see a fresh
 	// daemon as dead before its first tick.
@@ -174,6 +207,9 @@ type Config struct {
 	// LivehostsReplicas is how many LivehostsD instances run (paper: "a
 	// few selected nodes at different frequencies").
 	LivehostsReplicas int
+	// Obs is the instrumentation registry every daemon records into
+	// (publish counts, supervision transitions). Nil disables recording.
+	Obs *obs.Registry
 }
 
 // DefaultConfig returns the paper's monitoring cadence.

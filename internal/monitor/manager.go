@@ -44,6 +44,16 @@ func NewManager(pr Prober, st store.Store, cfg Config) *Manager {
 	}
 	m.latencyD = NewLatencyD(pr, st, cfg.LatencyPeriod)
 	m.bandwidthD = NewBandwidthD(pr, st, cfg.BandwidthPeriod)
+	if cfg.Obs != nil {
+		for _, d := range m.nodeStateDs {
+			d.SetObs(cfg.Obs)
+		}
+		for _, d := range m.livehostsDs {
+			d.SetObs(cfg.Obs)
+		}
+		m.latencyD.SetObs(cfg.Obs)
+		m.bandwidthD.SetObs(cfg.Obs)
+	}
 	return m
 }
 
@@ -68,6 +78,7 @@ func (m *Manager) newCentralLocked(role Role, peerName string) *CentralMonitor {
 		OnSlaveDead: m.onSlaveDead,
 	}
 	c := NewCentralMonitor(name, role, m.workerDaemons(), peerName, m.st, m.cfg, hooks)
+	c.SetObs(m.cfg.Obs)
 	m.centrals = append(m.centrals, c)
 	return c
 }

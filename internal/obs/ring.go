@@ -1,0 +1,88 @@
+package obs
+
+import "sync"
+
+// Ring is a bounded ring buffer retaining the most recent appends. It
+// backs the registry's event log and the broker's allocation decision
+// log. A nil *Ring is valid: Append is a no-op and accessors return
+// zeros. Safe for concurrent use.
+type Ring[T any] struct {
+	mu    sync.Mutex
+	buf   []T
+	next  int    // index the next append writes to
+	n     int    // live entries (<= cap)
+	total uint64 // appends over the ring's lifetime
+}
+
+// NewRing returns a ring retaining the last capacity entries (minimum 1).
+func NewRing[T any](capacity int) *Ring[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring[T]{buf: make([]T, capacity)}
+}
+
+// Append adds v, evicting the oldest entry when full.
+func (r *Ring[T]) Append(v T) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = v
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Items returns the retained entries, oldest first.
+func (r *Ring[T]) Items() []T {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]T, 0, r.n)
+	start := r.next - r.n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// Last returns the most recent min(k, Len) entries, oldest first.
+func (r *Ring[T]) Last(k int) []T {
+	items := r.Items()
+	if k < 0 {
+		k = 0
+	}
+	if k < len(items) {
+		items = items[len(items)-k:]
+	}
+	return items
+}
+
+// Len returns the number of retained entries.
+func (r *Ring[T]) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Total returns the number of entries ever appended (including evicted).
+func (r *Ring[T]) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}

@@ -1,0 +1,99 @@
+package store
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"nlarm/internal/obs"
+)
+
+func TestInstrumentedStoreCountsOpsAndErrors(t *testing.T) {
+	reg := obs.NewRegistry()
+	clock := time.Unix(1000, 0)
+	ist := Instrument(NewMem(), reg, func() time.Time { return clock })
+
+	if err := ist.Put("a/1", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ist.Get("a/1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ist.Get("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get missing: %v", err)
+	}
+	if _, err := ist.List("a/"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ist.Delete("a/1"); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, want := range map[string]uint64{
+		"store.put.count":    1,
+		"store.get.count":    2,
+		"store.get.notfound": 1,
+		"store.get.errors":   0,
+		"store.list.count":   1,
+		"store.delete.count": 1,
+		"store.put.errors":   0,
+	} {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if h := reg.Histogram("store.put.seconds"); h.Count() != 1 || h.Sum() != 0 {
+		t.Fatalf("put latency hist count=%d sum=%g (frozen clock must give 0s)", h.Count(), h.Sum())
+	}
+}
+
+func TestInstrumentedStoreSeesInjectedFaults(t *testing.T) {
+	reg := obs.NewRegistry()
+	fs := NewFault(NewMem(), 1)
+	ist := Instrument(fs, reg, nil)
+
+	fs.Partition("part/")
+	if err := ist.Put("part/x", nil); err == nil {
+		t.Fatal("partitioned put succeeded")
+	}
+	if _, err := ist.Get("part/x"); err == nil {
+		t.Fatal("partitioned get succeeded")
+	}
+	if got := reg.Counter("store.put.injected").Value(); got != 1 {
+		t.Fatalf("put.injected = %d", got)
+	}
+	if got := reg.Counter("store.get.injected").Value(); got != 1 {
+		t.Fatalf("get.injected = %d", got)
+	}
+	if got := reg.Counter("store.get.errors").Value(); got != 1 {
+		t.Fatalf("get.errors = %d", got)
+	}
+}
+
+func TestSyncFaultsMirrorsFaultStoreCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	fs := NewFault(NewMem(), 42)
+	fs.SetRates(Rates{PutError: 1})
+	for i := 0; i < 5; i++ {
+		_ = fs.Put("k", []byte("v"))
+	}
+	SyncFaults(fs, reg)
+	snap := reg.Snapshot()
+	if got := snap.Gauges["store.faults."+FaultPutError]; got != float64(fs.FaultCount(FaultPutError)) {
+		t.Fatalf("put-error gauge = %g, want %d", got, fs.FaultCount(FaultPutError))
+	}
+	if got := snap.Gauges["store.faults.total"]; got != float64(fs.TotalFaults()) {
+		t.Fatalf("total gauge = %g, want %d", got, fs.TotalFaults())
+	}
+	if got := snap.Gauges["store.ops.put"]; got != 5 {
+		t.Fatalf("ops.put gauge = %g, want 5", got)
+	}
+	// Idempotent re-sync.
+	SyncFaults(fs, reg)
+	if got := reg.Gauge("store.faults.total").Value(); got != float64(fs.TotalFaults()) {
+		t.Fatalf("re-sync drifted: %g", got)
+	}
+	// Nil args are no-ops.
+	SyncFaults(nil, reg)
+	SyncFaults(fs, nil)
+}
