@@ -306,6 +306,64 @@ func BenchmarkBrokerRepeatAllocate(b *testing.B) {
 	}
 }
 
+// BenchmarkSnapshotRefreshCold measures a from-nothing snapshot-cache
+// refresh of the fully-monitored 60-node store — the same work as a full
+// ReadSnapshot plus generation bookkeeping.
+func BenchmarkSnapshotRefreshCold(b *testing.B) {
+	sim := benchSnapshot(b)
+	now := sim.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cache := monitor.NewSnapshotCache(sim.Harness.VStore, nil, nil)
+		if _, err := cache.Refresh(now); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotRefreshWarm measures the delta path: each iteration
+// republishes 3 of the 60 node-state keys and refreshes, so the cache
+// re-reads only the changed keys and patches the fingerprint in place.
+func BenchmarkSnapshotRefreshWarm(b *testing.B) {
+	sim := benchSnapshot(b)
+	vst := sim.Harness.VStore
+	cache := monitor.NewSnapshotCache(vst, nil, nil)
+	now := sim.Now()
+	if _, err := cache.Refresh(now); err != nil {
+		b.Fatal(err)
+	}
+	keys := []string{
+		monitor.KeyNodeStatePrefix + "3",
+		monitor.KeyNodeStatePrefix + "17",
+		monitor.KeyNodeStatePrefix + "42",
+	}
+	vals := make([][]byte, len(keys))
+	for i, k := range keys {
+		v, err := vst.Get(k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vals[i] = v
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, k := range keys {
+			if err := vst.Put(k, vals[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		r, err := cache.Refresh(now)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.KeysReread != len(keys) {
+			b.Fatalf("warm refresh reread %d keys, want %d", r.KeysReread, len(keys))
+		}
+	}
+}
+
 // BenchmarkSimulatedDayOfMonitoring measures how fast the whole stack
 // (world + all daemons) advances virtual time: one benchmark iteration is
 // one simulated hour of the 60-node cluster.

@@ -61,8 +61,11 @@ func main() {
 	// and --dump-metrics both read it.
 	reg := obs.NewRegistry()
 	ist := store.Instrument(st, reg, rt.Now)
+	// Outermost generation tracking: daemons stamp every published key,
+	// and the broker's snapshot cache re-reads only stamped changes.
+	vst := store.Version(ist)
 
-	mgr := monitor.NewManager(&monitor.WorldProber{W: w}, ist, monitor.Config{
+	mgr := monitor.NewManager(&monitor.WorldProber{W: w}, vst, monitor.Config{
 		NodeStatePeriod: *stateSec,
 		LatencyPeriod:   *latSec,
 		BandwidthPeriod: *bwSec,
@@ -73,7 +76,7 @@ func main() {
 	}
 	defer mgr.Stop()
 
-	b := broker.New(ist, rt, broker.Config{Seed: *seed, Obs: reg})
+	b := broker.New(vst, rt, broker.Config{Seed: *seed, Obs: reg})
 	// Job submission: queued jobs run as simulated MPI jobs in the world.
 	queue := jobqueue.New(b, rt, jobqueue.Config{RetryPeriod: *retrySec, Obs: reg})
 	if err := queue.Start(); err != nil {
@@ -81,7 +84,7 @@ func main() {
 	}
 	defer queue.Stop()
 	mgrJobs := jobqueue.NewWorldManager(queue, w).WithPredictions(func() (*metrics.Snapshot, error) {
-		return monitor.ReadSnapshot(ist, rt.Now())
+		return monitor.ReadSnapshot(vst, rt.Now())
 	})
 	srv, err := broker.NewManagedServer(b, mgrJobs, *addr)
 	if err != nil {

@@ -33,10 +33,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	st, err := store.NewFile(*storeDir)
+	fst, err := store.NewFile(*storeDir)
 	if err != nil {
 		fatal(err)
 	}
+	// Generation stamping over the file store: pre-existing files are
+	// seeded, so a restarted monitor keeps stamping from a known state.
+	st := store.Version(fst)
 	rt := simtime.NewRealRuntime()
 	defer rt.Close()
 	w := world.New(cl, world.Config{Seed: *seed, StepSize: 250 * time.Millisecond}, rt.Now())

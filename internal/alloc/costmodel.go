@@ -56,6 +56,11 @@ type CostModel struct {
 	Cores  []int
 	LoadM1 []float64
 
+	// attrRows retains each node's raw Equation 1 attribute vector (the
+	// SAW input matrix, index order) so UpdateNodes can replace k rows
+	// and re-normalize without touching the snapshot's other n-k nodes.
+	attrRows [][]float64
+
 	clErr error
 	nlErr error
 }
@@ -84,7 +89,10 @@ func NewCostModel(snap *metrics.Snapshot, w Weights, useForecast bool) *CostMode
 		m.Cores[i] = na.Cores
 		m.LoadM1[i] = na.CPULoad.M1
 	}
-	m.CL, m.clErr = computeLoadsDense(snap, ids, w, useForecast)
+	m.attrRows, m.clErr = attrMatrix(snap, ids, useForecast)
+	if m.clErr == nil {
+		m.CL, m.clErr = sawFromRows(w, m.attrRows)
+	}
 	if m.clErr == nil && n > 0 {
 		m.CLUnit = append([]float64(nil), m.CL...)
 		rescaleMeanDense(m.CLUnit)
@@ -157,14 +165,9 @@ func modelFor(m *CostModel, req Request) *CostModel {
 	return NewCostModel(m.Snap, req.Weights, req.UseForecast)
 }
 
-// computeLoadsDense evaluates Equation 1 for ids (in the given order)
-// and returns the SAW costs indexed positionally — the dense core behind
-// ComputeLoadsOpt.
-func computeLoadsDense(snap *metrics.Snapshot, ids []int, w Weights, useForecast bool) ([]float64, error) {
-	if len(ids) == 0 {
-		return nil, nil
-	}
-	attrs := []stats.Attribute{
+// sawAttrs is the fixed Equation 1 attribute schema under weights w.
+func sawAttrs(w Weights) []stats.Attribute {
+	return []stats.Attribute{
 		{Name: "cpu_load", Weight: w.CPULoad, Criterion: stats.Minimize},
 		{Name: "cpu_util", Weight: w.CPUUtil, Criterion: stats.Minimize},
 		{Name: "flow_rate", Weight: w.FlowRate, Criterion: stats.Minimize},
@@ -174,38 +177,127 @@ func computeLoadsDense(snap *metrics.Snapshot, ids []int, w Weights, useForecast
 		{Name: "total_mem", Weight: w.TotalMem, Criterion: stats.Maximize},
 		{Name: "users", Weight: w.Users, Criterion: stats.Minimize},
 	}
+}
+
+// attrRow is one node's raw Equation 1 attribute vector in sawAttrs
+// column order.
+func attrRow(na metrics.NodeAttrs, useForecast bool) []float64 {
+	cpuLoad := windowAvg(na.CPULoad)
+	flowRate := windowAvg(na.FlowRateBps)
+	if useForecast {
+		if na.CPULoadForecast != nil {
+			cpuLoad = na.CPULoadForecast.Value
+		}
+		if na.FlowRateForecast != nil {
+			flowRate = na.FlowRateForecast.Value
+		}
+	}
+	return []float64{
+		cpuLoad,
+		windowAvg(na.CPUUtilPct),
+		flowRate,
+		windowAvg(na.AvailMemMB),
+		float64(na.Cores),
+		na.FreqGHz,
+		na.TotalMemMB,
+		float64(na.Users),
+	}
+}
+
+// attrMatrix builds the SAW input matrix for ids (in the given order).
+func attrMatrix(snap *metrics.Snapshot, ids []int, useForecast bool) ([][]float64, error) {
+	if len(ids) == 0 {
+		return nil, nil
+	}
 	matrix := make([][]float64, 0, len(ids))
 	for _, id := range ids {
 		na, ok := snap.Nodes[id]
 		if !ok {
 			return nil, fmt.Errorf("alloc: node %d has no published state", id)
 		}
-		cpuLoad := windowAvg(na.CPULoad)
-		flowRate := windowAvg(na.FlowRateBps)
-		if useForecast {
-			if na.CPULoadForecast != nil {
-				cpuLoad = na.CPULoadForecast.Value
-			}
-			if na.FlowRateForecast != nil {
-				flowRate = na.FlowRateForecast.Value
-			}
-		}
-		matrix = append(matrix, []float64{
-			cpuLoad,
-			windowAvg(na.CPUUtilPct),
-			flowRate,
-			windowAvg(na.AvailMemMB),
-			float64(na.Cores),
-			na.FreqGHz,
-			na.TotalMemMB,
-			float64(na.Users),
-		})
+		matrix = append(matrix, attrRow(na, useForecast))
 	}
-	costs, err := stats.SAWCosts(attrs, matrix)
+	return matrix, nil
+}
+
+// sawFromRows runs the SAW scoring over a prebuilt attribute matrix.
+func sawFromRows(w Weights, rows [][]float64) ([]float64, error) {
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	costs, err := stats.SAWCosts(sawAttrs(w), rows)
 	if err != nil {
 		return nil, fmt.Errorf("alloc: compute loads: %w", err)
 	}
 	return costs, nil
+}
+
+// computeLoadsDense evaluates Equation 1 for ids (in the given order)
+// and returns the SAW costs indexed positionally — the dense core behind
+// ComputeLoadsOpt.
+func computeLoadsDense(snap *metrics.Snapshot, ids []int, w Weights, useForecast bool) ([]float64, error) {
+	rows, err := attrMatrix(snap, ids, useForecast)
+	if err != nil {
+		return nil, err
+	}
+	return sawFromRows(w, rows)
+}
+
+// UpdateNodes derives the cost model for snap from m when snap differs
+// from m's snapshot only in the dynamic attributes of the given node
+// IDs: the network layer (NL/NLUnit, built from the unchanged matrices)
+// is shared, the changed nodes' attribute rows are replaced, and the
+// Equation 1 SAW scoring re-runs over the retained rows — an O(n·k +
+// n·attrs) update instead of the O(n²) full rebuild, with bit-identical
+// results because SAW normalization always re-accumulates every row in
+// index order.
+//
+// ok=false means the precondition does not hold (different monitored
+// node set, a changed ID the model does not know, a model built without
+// usable CL data, or matrices that are not content-identical is the
+// caller's responsibility) and the caller must rebuild from scratch.
+func (m *CostModel) UpdateNodes(snap *metrics.Snapshot, changed []int) (*CostModel, bool) {
+	if m.clErr != nil || m.attrRows == nil {
+		return nil, false
+	}
+	ids := MonitoredLivehosts(snap)
+	if !slices.Equal(ids, m.IDs) {
+		return nil, false
+	}
+	n := len(ids)
+	u := &CostModel{
+		Snap:     snap,
+		Weights:  m.Weights,
+		Forecast: m.Forecast,
+		Taken:    snap.Taken,
+		IDs:      m.IDs,
+		idx:      m.idx,
+		NL:       m.NL,
+		NLUnit:   m.NLUnit,
+		nlErr:    m.nlErr,
+		Cores:    append([]int(nil), m.Cores...),
+		LoadM1:   append([]float64(nil), m.LoadM1...),
+		attrRows: append([][]float64(nil), m.attrRows...),
+	}
+	for _, id := range changed {
+		i, ok := m.idx[id]
+		if !ok {
+			return nil, false
+		}
+		na, ok := snap.Nodes[id]
+		if !ok {
+			return nil, false
+		}
+		u.Cores[i] = na.Cores
+		u.LoadM1[i] = na.CPULoad.M1
+		u.attrRows[i] = attrRow(na, m.Forecast)
+	}
+	u.CL, u.clErr = sawFromRows(m.Weights, u.attrRows)
+	if u.clErr == nil && n > 0 {
+		u.CLUnit = append([]float64(nil), u.CL...)
+		rescaleMeanDense(u.CLUnit)
+	}
+	return u, u.clErr == nil
 }
 
 // networkLoadsDense evaluates Equation 2 for every unordered pair of ids
@@ -392,23 +484,81 @@ func fillIdx(order []int, caps []int, procs int) (used []int, counts []int) {
 	return used, counts
 }
 
+// lessIdx is the strict total order shared by sortIdxByCost and the
+// partial-selection heap: ascending cost, ties broken by index. Because
+// it is a strict total order, popping a min-heap built on it yields
+// exactly the permutation sortIdxByCost produces.
+func lessIdx(cost []float64, a, b int) bool {
+	if cost[a] != cost[b] {
+		return cost[a] < cost[b]
+	}
+	return a < b
+}
+
+// heapifyIdx establishes the min-heap property on h under lessIdx.
+func heapifyIdx(h []int, cost []float64) {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDownIdx(h, i, cost)
+	}
+}
+
+func siftDownIdx(h []int, i int, cost []float64) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(h) && lessIdx(cost, h[r], h[l]) {
+			m = r
+		}
+		if !lessIdx(cost, h[m], h[i]) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// popIdx removes and returns the heap minimum, shrinking h by one.
+func popIdx(h []int, cost []float64) (int, []int) {
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	siftDownIdx(h, 0, cost)
+	return top, h
+}
+
 // minParallelStarts is the candidate count below which the worker pool
 // is not worth its goroutine overhead and generation stays sequential.
 const minParallelStarts = 16
 
-// parallelFor runs f(i) for every i in [0, n) across a bounded
-// GOMAXPROCS-sized worker pool. Each index runs exactly once; f must
-// only write state owned by its own index (the callers write into
-// pre-assigned slice slots, keeping results bit-identical to a
-// sequential loop). Small n runs inline.
-func parallelFor(n int, f func(int)) {
+// parallelWorkers is the worker-pool size parallelFor will use for n
+// indices, so callers can pre-allocate per-worker scratch.
+func parallelWorkers(n int) int {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 || n < minParallelStarts {
+		return 1
+	}
+	return workers
+}
+
+// parallelFor runs f(worker, i) for every i in [0, n) across a bounded
+// GOMAXPROCS-sized worker pool of parallelWorkers(n) goroutines. Each
+// index runs exactly once, and each worker slot runs its calls
+// sequentially (so per-worker scratch buffers need no locking); f must
+// only write index-owned state (the callers write into pre-assigned
+// slice slots, keeping results bit-identical to a sequential loop).
+// Small n runs inline on worker 0.
+func parallelFor(n int, f func(worker, i int)) {
+	workers := parallelWorkers(n)
+	if workers == 1 {
 		for i := 0; i < n; i++ {
-			f(i)
+			f(0, i)
 		}
 		return
 	}
@@ -416,16 +566,16 @@ func parallelFor(n int, f func(int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				f(i)
+				f(w, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }

@@ -265,3 +265,123 @@ func TestCostModelMatchesMapViews(t *testing.T) {
 		}
 	}
 }
+
+// mutateDynamicAttrs rewrites the dynamic attributes of node id in snap
+// (in place), leaving the static hardware and the network matrices
+// untouched — the shape of change UpdateNodes is allowed to absorb.
+func mutateDynamicAttrs(r *rng.Rand, snap *metrics.Snapshot, id int) {
+	na := snap.Nodes[id]
+	load := r.Range(0, float64(na.Cores)+4)
+	na.CPULoad = stats.Windowed{M1: load, M5: load * r.Range(0.5, 1.5), M15: load * r.Range(0.5, 1.5)}
+	na.CPUUtilPct = stats.Windowed{M1: r.Range(0, 100), M5: r.Range(0, 100), M15: r.Range(0, 100)}
+	na.FlowRateBps = stats.Windowed{M1: r.Range(0, 5e7), M5: r.Range(0, 5e7), M15: r.Range(0, 5e7)}
+	na.AvailMemMB = stats.Windowed{M1: r.Range(1000, na.TotalMemMB), M5: 9000, M15: 9000}
+	na.Users = r.Intn(4)
+	na.Timestamp = na.Timestamp.Add(time.Second)
+	if r.Bool(0.5) {
+		na.CPULoadForecast = &metrics.Forecast{Value: r.Range(0, float64(na.Cores)), Method: "ar"}
+	} else {
+		na.CPULoadForecast = nil
+	}
+	if r.Bool(0.3) {
+		na.FlowRateForecast = &metrics.Forecast{Value: r.Range(0, 5e7), Method: "mean"}
+	} else {
+		na.FlowRateForecast = nil
+	}
+	snap.Nodes[id] = na
+}
+
+// requireModelEqual asserts two cost models agree bit-for-bit on every
+// array the allocator reads.
+func requireModelEqual(t *testing.T, tag string, got, want *CostModel) {
+	t.Helper()
+	if got.clErr != nil || want.clErr != nil {
+		t.Fatalf("%s: clErr got=%v want=%v", tag, got.clErr, want.clErr)
+	}
+	for _, f := range []struct {
+		name string
+		a, b any
+	}{
+		{"IDs", got.IDs, want.IDs},
+		{"CL", got.CL, want.CL},
+		{"CLUnit", got.CLUnit, want.CLUnit},
+		{"NL", got.NL, want.NL},
+		{"NLUnit", got.NLUnit, want.NLUnit},
+		{"Cores", got.Cores, want.Cores},
+		{"LoadM1", got.LoadM1, want.LoadM1},
+	} {
+		if !reflect.DeepEqual(f.a, f.b) {
+			t.Fatalf("%s: %s diverged:\nincremental: %v\nrebuild:     %v", tag, f.name, f.a, f.b)
+		}
+	}
+}
+
+// TestCostModelUpdateNodesMatchesRebuild chains randomized in-place
+// updates — each step mutates the dynamic attributes of k nodes and
+// applies UpdateNodes — and checks every intermediate model is
+// bit-identical to NewCostModel rebuilt from scratch on that snapshot.
+func TestCostModelUpdateNodesMatchesRebuild(t *testing.T) {
+	for seed := uint64(1); seed <= 12; seed++ {
+		r := rng.New(seed * 104729)
+		n := 5 + r.Intn(30)
+		snap := randomEquivSnapshot(r, n)
+		useForecast := seed%2 == 0
+		w := PaperWeights()
+		m := NewCostModel(snap, w, useForecast)
+		if m.clErr != nil {
+			t.Fatalf("seed %d: base model: %v", seed, m.clErr)
+		}
+		for step := 0; step < 8; step++ {
+			next := snap.Clone()
+			next.Taken = next.Taken.Add(time.Second)
+			k := 1 + r.Intn(4)
+			var changed []int
+			for i := 0; i < k; i++ {
+				id := m.IDs[r.Intn(len(m.IDs))]
+				mutateDynamicAttrs(r, next, id)
+				changed = append(changed, id)
+			}
+			u, ok := m.UpdateNodes(next, changed)
+			if !ok {
+				t.Fatalf("seed %d step %d: UpdateNodes refused a pure dynamic-attr change", seed, step)
+			}
+			requireModelEqual(t, fmt.Sprintf("seed %d step %d", seed, step),
+				u, NewCostModel(next, w, useForecast))
+			snap, m = next, u
+		}
+	}
+}
+
+// TestCostModelUpdateNodesFallsBack pins the conditions under which the
+// incremental path must refuse and force a full rebuild.
+func TestCostModelUpdateNodesFallsBack(t *testing.T) {
+	r := rng.New(7)
+	snap := randomEquivSnapshot(r, 10)
+	w := PaperWeights()
+	m := NewCostModel(snap, w, false)
+
+	// Unknown node ID.
+	if _, ok := m.UpdateNodes(snap.Clone(), []int{999999}); ok {
+		t.Fatal("UpdateNodes accepted a node outside the model")
+	}
+
+	// Changed node missing from the new snapshot.
+	gone := snap.Clone()
+	delete(gone.Nodes, m.IDs[0])
+	if _, ok := m.UpdateNodes(gone, []int{m.IDs[0]}); ok {
+		t.Fatal("UpdateNodes accepted a node with no published state")
+	}
+
+	// Membership change: a node died, the live set differs.
+	died := snap.Clone()
+	died.Livehosts = died.Livehosts[1:]
+	if _, ok := m.UpdateNodes(died, []int{m.IDs[1]}); ok {
+		t.Fatal("UpdateNodes accepted a changed live set")
+	}
+
+	// Broken base model (no attribute rows) can never update in place.
+	broken := &CostModel{Weights: w}
+	if _, ok := broken.UpdateNodes(snap, nil); ok {
+		t.Fatal("UpdateNodes ran on a model with no attrRows")
+	}
+}

@@ -101,10 +101,12 @@ func (p NetLoadAware) AllocateExplainModel(m *CostModel, req Request) (Candidate
 	}
 	caps := m.caps(req)
 
-	// Algorithm 1, once per start node: |V| candidates.
+	// Algorithm 1, once per start node: |V| candidates. Each worker slot
+	// owns one scratch buffer set, reused across all its start nodes.
 	candidates := make([]Candidate, n)
-	parallelFor(n, func(v int) {
-		candidates[v] = p.generate(m, v, caps, req)
+	scratch := make([]genScratch, parallelWorkers(n))
+	parallelFor(n, func(w, v int) {
+		candidates[v] = p.generate(m, v, caps, req, &scratch[w])
 	})
 
 	// Algorithm 2: normalize C_G and N_G across candidates, pick min T_G.
@@ -136,22 +138,81 @@ func (p NetLoadAware) AllocateExplainModel(m *CostModel, req Request) (Candidate
 	return candidates[bestIdx], candidates, nil
 }
 
+// genScratch is one worker's reusable buffers for generate: the
+// addition-cost vector, the selection heap, and the used/counts fill
+// output. Reusing them drops the hot path's per-candidate allocations
+// to just the Candidate's own (escaping) Nodes slice and Procs map.
+type genScratch struct {
+	addCost []float64
+	heap    []int
+	used    []int
+	counts  []int
+}
+
+// grow sizes the scratch for an n-node model.
+func (sc *genScratch) grow(n int) {
+	if cap(sc.addCost) < n {
+		sc.addCost = make([]float64, n)
+		sc.heap = make([]int, n)
+		sc.used = make([]int, 0, n)
+		sc.counts = make([]int, 0, n)
+	}
+}
+
 // generate builds the candidate sub-graph seeded at dense index v
 // (Algorithm 1), reading compute loads and the network-load row for v
-// straight out of the model's flat slices.
-func (p NetLoadAware) generate(m *CostModel, v int, caps []int, req Request) Candidate {
+// straight out of the model's flat slices. Instead of fully sorting all
+// n addition costs it pops a min-heap just far enough to cover the
+// requested process count — the heap order is the exact strict total
+// order of sortIdxByCost (cost ascending, ties by index), so the
+// selected set and its order are bit-identical to the sorted path.
+func (p NetLoadAware) generate(m *CostModel, v int, caps []int, req Request, sc *genScratch) Candidate {
 	n := m.Len()
+	sc.grow(n)
 	// A_v(v) = 0; A_v(u) = α·CL(u) + β·NL(v,u) for u ≠ v.
-	addCost := make([]float64, n)
+	addCost := sc.addCost[:n]
 	nlRow := m.NLUnit[v*n : (v+1)*n]
 	for u := 0; u < n; u++ {
 		if u == v {
-			continue // A_v(v) = 0
+			addCost[u] = 0 // A_v(v) = 0
+			continue
 		}
 		addCost[u] = req.Alpha*m.CLUnit[u] + req.Beta*nlRow[u]
 	}
-	order := sortIdxByCost(addCost) // v sorts first with cost 0
-	used, counts := fillIdx(order, caps, req.Procs)
+	h := sc.heap[:n]
+	for i := range h {
+		h[i] = i
+	}
+	heapifyIdx(h, addCost)
+	// fillIdx over the heap's pop order: each popped node takes up to its
+	// capacity until the request is covered, then the remainder spills
+	// round-robin over the selected nodes.
+	used, counts := sc.used[:0], sc.counts[:0]
+	remaining := req.Procs
+	for len(h) > 0 && remaining > 0 {
+		var i int
+		i, h = popIdx(h, addCost)
+		take := caps[i]
+		if take > remaining {
+			take = remaining
+		}
+		if take <= 0 {
+			continue
+		}
+		used = append(used, i)
+		counts = append(counts, take)
+		remaining -= take
+	}
+	for remaining > 0 && len(used) > 0 {
+		for k := range used {
+			if remaining == 0 {
+				break
+			}
+			counts[k]++
+			remaining--
+		}
+	}
+	sc.used, sc.counts = used, counts
 
 	var nodes []int
 	if len(used) > 0 {

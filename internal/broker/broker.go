@@ -139,21 +139,39 @@ type Broker struct {
 	rnd      *rng.Rand
 	policies map[string]alloc.Policy
 
+	// Delta snapshot pipeline: when the store tracks per-key generations
+	// (monitor.GenSource), snapshots come from a SnapshotCache that
+	// re-reads only changed keys; concurrent Allocate calls coalesce
+	// behind one in-flight refresh. A nil cache means the store has no
+	// generation tracking and every request does a full read (the
+	// pre-delta behavior).
+	cache  *monitor.SnapshotCache
+	sfMu   sync.Mutex
+	sfCall *refreshCall
+
 	// Cost-model cache: dense Equation 1/2 evaluations keyed by snapshot
 	// content fingerprint + pricing inputs, so back-to-back Allocate
 	// calls against an unchanged monitoring view skip recomputation. A
-	// fingerprint change (the monitor republished) drops every entry.
+	// fingerprint change (the monitor republished) retires the current
+	// generation of models into prevModels for one epoch, so an
+	// incremental refresh (only k nodes' dynamic attributes changed) can
+	// update the retired model in place instead of rebuilding O(n²).
 	modelMu     sync.Mutex
 	models      map[modelKey]*alloc.CostModel
 	modelFP     uint64
+	prevModels  map[modelKey]*alloc.CostModel
+	prevFP      uint64
 	cacheHits   uint64
 	cacheMisses uint64
 
 	// Degraded-mode state: the last snapshot that passed the freshness
 	// checks, kept so a monitoring outage (store unreadable, data aged
-	// out) downgrades service instead of interrupting it.
+	// out) downgrades service instead of interrupting it. lastGoodFP
+	// gates the deep copy: an unchanged fingerprint means the stored
+	// clone is already current.
 	lastGoodMu sync.Mutex
 	lastGood   *metrics.Snapshot
+	lastGoodFP uint64
 	degraded   uint64 // responses served from lastGood
 
 	// Observability: counters/histograms plus the bounded decision log
@@ -172,6 +190,25 @@ type modelKey struct {
 	forecast bool
 }
 
+// refreshCall is one in-flight snapshot-cache refresh; concurrent
+// requests wait on done and share its result (singleflight).
+type refreshCall struct {
+	done chan struct{}
+	res  monitor.Refresh
+	err  error
+}
+
+// snapView is the snapshot a request was served with, plus the delta
+// metadata the cost-model cache needs. A non-cache (full-read) view has
+// Incremental false and PrevFP 0.
+type snapView struct {
+	snap        *metrics.Snapshot
+	fp          uint64
+	prevFP      uint64
+	incremental bool
+	changed     []int
+}
+
 // New builds a broker reading monitoring data from st, with the standard
 // policy set registered (random, sequential, load-aware, net-load-aware).
 func New(st store.Store, rt simtime.Runtime, cfg Config) *Broker {
@@ -188,6 +225,9 @@ func New(st store.Store, rt simtime.Runtime, cfg Config) *Broker {
 	}
 	for _, p := range []alloc.Policy{alloc.Random{}, alloc.Sequential{}, alloc.LoadAware{}, alloc.NetLoadAware{}} {
 		b.policies[p.Name()] = p
+	}
+	if gs, ok := st.(monitor.GenSource); ok {
+		b.cache = monitor.NewSnapshotCache(gs, b.obs, rt.Now)
 	}
 	return b
 }
@@ -213,30 +253,73 @@ func (b *Broker) Policies() []string {
 
 // Snapshot returns the current consolidated monitoring view.
 func (b *Broker) Snapshot() (*metrics.Snapshot, error) {
-	return monitor.ReadSnapshot(b.st, b.rt.Now())
+	return monitor.ReadSnapshotObs(b.st, b.rt.Now(), b.obs)
+}
+
+// freshView obtains the current monitoring view: a delta refresh of the
+// snapshot cache when the store tracks generations, else a full read.
+// Concurrent cache refreshes coalesce — one caller sweeps the store,
+// the rest wait on its result.
+func (b *Broker) freshView() (snapView, error) {
+	if b.cache == nil {
+		snap, err := b.Snapshot()
+		if err != nil {
+			return snapView{}, err
+		}
+		return snapView{snap: snap, fp: snap.Fingerprint()}, nil
+	}
+	b.sfMu.Lock()
+	if call := b.sfCall; call != nil {
+		b.sfMu.Unlock()
+		<-call.done
+		b.obs.Counter("broker.snapshot.refresh.shared").Inc()
+		return viewOf(call.res), call.err
+	}
+	call := &refreshCall{done: make(chan struct{})}
+	b.sfCall = call
+	b.sfMu.Unlock()
+	call.res, call.err = b.cache.Refresh(b.rt.Now())
+	b.sfMu.Lock()
+	b.sfCall = nil
+	b.sfMu.Unlock()
+	close(call.done)
+	return viewOf(call.res), call.err
+}
+
+func viewOf(r monitor.Refresh) snapView {
+	return snapView{
+		snap:        r.Snap,
+		fp:          r.FP,
+		prevFP:      r.PrevFP,
+		incremental: r.Incremental,
+		changed:     r.ChangedNodes,
+	}
 }
 
 // acquireSnapshot is Allocate's graceful-degradation front end. It
-// prefers a fresh store read; when the read fails or the data is older
+// prefers a fresh view; when the read fails or the data is older
 // than SnapshotMaxAge it falls back to the last snapshot that passed
 // those checks, marks it Degraded, and — when the livehosts list is
 // still readable — drops nodes no longer in it, so a degraded answer can
 // never place ranks on hosts the monitor has since declared dead. With
 // no last-good copy (the broker never saw a healthy monitor) the
 // original errors surface unchanged.
-func (b *Broker) acquireSnapshot() (*metrics.Snapshot, string, error) {
-	snap, err := b.Snapshot()
+func (b *Broker) acquireSnapshot() (snapView, string, error) {
+	sv, err := b.freshView()
 	var reason string
 	switch {
 	case err != nil:
 		reason = fmt.Sprintf("snapshot read failed: %v", err)
-	case alloc.StaleAfter(snap, b.cfg.SnapshotMaxAge):
+	case alloc.StaleAfter(sv.snap, b.cfg.SnapshotMaxAge):
 		reason = fmt.Sprintf("monitoring data older than %v", b.cfg.SnapshotMaxAge)
 	default:
 		b.lastGoodMu.Lock()
-		b.lastGood = snap.Clone()
+		if b.lastGood == nil || b.lastGoodFP != sv.fp {
+			b.lastGood = sv.snap.Clone()
+			b.lastGoodFP = sv.fp
+		}
 		b.lastGoodMu.Unlock()
-		return snap, "", nil
+		return sv, "", nil
 	}
 
 	b.lastGoodMu.Lock()
@@ -248,9 +331,9 @@ func (b *Broker) acquireSnapshot() (*metrics.Snapshot, string, error) {
 	b.lastGoodMu.Unlock()
 	if lg == nil {
 		if err != nil {
-			return nil, "", fmt.Errorf("broker: no monitoring data: %w", err)
+			return snapView{}, "", fmt.Errorf("broker: no monitoring data: %w", err)
 		}
-		return nil, "", fmt.Errorf("broker: monitoring data older than %v; is the monitor running?", b.cfg.SnapshotMaxAge)
+		return snapView{}, "", fmt.Errorf("broker: monitoring data older than %v; is the monitor running?", b.cfg.SnapshotMaxAge)
 	}
 	lg.Degraded = true
 	if hosts, _, err := monitor.ReadLivehosts(b.st); err == nil {
@@ -266,7 +349,9 @@ func (b *Broker) acquireSnapshot() (*metrics.Snapshot, string, error) {
 		}
 		lg.Livehosts = kept
 	}
-	return lg, reason, nil
+	// The livehosts filtering above may have changed content, so the
+	// degraded view's fingerprint is computed, not cached (rare path).
+	return snapView{snap: lg, fp: lg.Fingerprint()}, reason, nil
 }
 
 // DegradedServed reports how many allocation requests were answered from
@@ -277,26 +362,42 @@ func (b *Broker) DegradedServed() uint64 {
 	return b.degraded
 }
 
-// costModel returns the dense cost model for snap priced with the given
-// weights and forecast flag, reusing the cached evaluation when the
-// monitoring content is unchanged since it was built. Any change in the
-// snapshot fingerprint (the monitor republished) invalidates the whole
-// cache.
-func (b *Broker) costModel(snap *metrics.Snapshot, w alloc.Weights, forecast bool) (*alloc.CostModel, bool) {
-	fp := snap.Fingerprint()
-	key := modelKey{fp: fp, weights: w, forecast: forecast}
+// costModel returns the dense cost model for the served view priced
+// with the given weights and forecast flag, reusing the cached
+// evaluation when the monitoring content is unchanged since it was
+// built. A fingerprint change (the monitor republished) retires the
+// current model generation; when the view says the change was
+// incremental (same node set, same matrices, k nodes' dynamic
+// attributes moved) and the retired generation belongs to the view's
+// predecessor fingerprint, the retired model is updated in place via
+// CostModel.UpdateNodes instead of being rebuilt from scratch.
+func (b *Broker) costModel(sv snapView, w alloc.Weights, forecast bool) (*alloc.CostModel, bool) {
+	key := modelKey{fp: sv.fp, weights: w, forecast: forecast}
 	b.modelMu.Lock()
 	defer b.modelMu.Unlock()
-	if fp != b.modelFP {
-		clear(b.models)
-		b.modelFP = fp
+	if sv.fp != b.modelFP {
+		b.prevModels, b.prevFP = b.models, b.modelFP
+		b.models = make(map[modelKey]*alloc.CostModel)
+		b.modelFP = sv.fp
 	}
 	if m, ok := b.models[key]; ok {
 		b.cacheHits++
 		b.obs.Counter("broker.modelcache.hits").Inc()
 		return m, true
 	}
-	m := alloc.NewCostModel(snap, w, forecast)
+	var m *alloc.CostModel
+	if sv.incremental && sv.prevFP != 0 && sv.prevFP == b.prevFP {
+		if pm, ok := b.prevModels[modelKey{fp: sv.prevFP, weights: w, forecast: forecast}]; ok {
+			if um, ok := pm.UpdateNodes(sv.snap, sv.changed); ok {
+				m = um
+				b.obs.Counter("broker.model.update.incremental").Inc()
+			}
+		}
+	}
+	if m == nil {
+		m = alloc.NewCostModel(sv.snap, w, forecast)
+		b.obs.Counter("broker.model.update.full").Inc()
+	}
 	b.models[key] = m
 	b.cacheMisses++
 	b.obs.Counter("broker.modelcache.misses").Inc()
@@ -393,10 +494,11 @@ func (b *Broker) allocate(req Request) (Response, *alloc.CostModel, bool, error)
 		return Response{}, nil, false, fmt.Errorf("broker: unknown policy %q", req.Policy)
 	}
 
-	snap, degradedReason, err := b.acquireSnapshot()
+	sv, degradedReason, err := b.acquireSnapshot()
 	if err != nil {
 		return Response{}, nil, false, err
 	}
+	snap := sv.snap
 
 	loadPerCore := clusterLoadPerCore(snap)
 	resp := Response{Policy: pol.Name(), ClusterLoad: loadPerCore}
@@ -426,7 +528,7 @@ func (b *Broker) allocate(req Request) (Response, *alloc.CostModel, bool, error)
 	var model *alloc.CostModel
 	cacheHit := false
 	if _, ok := pol.(alloc.ModelPolicy); ok {
-		model, cacheHit = b.costModel(snap, validated.Weights, validated.UseForecast)
+		model, cacheHit = b.costModel(sv, validated.Weights, validated.UseForecast)
 	}
 	var a alloc.Allocation
 	if nla, ok := pol.(alloc.NetLoadAware); ok && req.Explain {

@@ -1,0 +1,82 @@
+package broker
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"nlarm/internal/cluster"
+	"nlarm/internal/monitor"
+	"nlarm/internal/obs"
+	"nlarm/internal/simtime"
+	"nlarm/internal/store"
+	"nlarm/internal/world"
+)
+
+// TestBrokerIncrementalModelUpdate wires the full delta pipeline — a
+// versioned store under the monitor daemons and a cache-backed broker —
+// and checks that a node-state-only republish is absorbed by an in-place
+// CostModel update (not a rebuild) while producing exactly the answer a
+// from-scratch broker computes on the same store.
+func TestBrokerIncrementalModelUpdate(t *testing.T) {
+	cl, err := cluster.BuildUniform(2, 4, 8, 3.0, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := simtime.NewScheduler(t0)
+	w := world.New(cl, world.Config{Seed: 5, StepSize: time.Second}, t0)
+	w.Attach(sched)
+	reg := obs.NewRegistry()
+	vst := store.Version(store.NewMem())
+	mgr := monitor.NewManager(&monitor.WorldProber{W: w}, vst, monitor.Config{
+		NodeStatePeriod: 2 * time.Second,
+		LivehostsPeriod: 2 * time.Second,
+		LatencyPeriod:   5 * time.Second,
+		BandwidthPeriod: 10 * time.Second,
+	})
+	if err := mgr.Start(sched); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mgr.Stop)
+	sched.RunFor(30 * time.Second)
+
+	b := New(vst, sched, Config{Seed: 5, Obs: reg})
+	req := Request{Procs: 8, PPN: 4, Alpha: 0.3, Beta: 0.7}
+	if _, err := b.Allocate(req); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("broker.model.update.full").Value(); got != 1 {
+		t.Fatalf("cold allocate built %d full models, want 1", got)
+	}
+
+	// Advance 2s: NodeStateD and LivehostsD republish, the matrices do
+	// not (their periods are 5s and 10s, next fires at t=35s/40s) — an
+	// incremental refresh by construction.
+	sched.RunFor(2 * time.Second)
+	resp, err := b.Allocate(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("broker.model.update.incremental").Value(); got != 1 {
+		t.Fatalf("warm allocate after node-state republish did %d incremental updates, want 1 (full=%d)",
+			got, reg.Counter("broker.model.update.full").Value())
+	}
+	if got := reg.Counter("broker.model.update.full").Value(); got != 1 {
+		t.Fatalf("warm allocate rebuilt the model from scratch (full=%d)", got)
+	}
+
+	// The incrementally maintained model must answer exactly like a
+	// broker with no history at all.
+	fresh := New(vst, sched, Config{Seed: 5})
+	want, err := fresh.Allocate(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resp.Nodes, want.Nodes) || !reflect.DeepEqual(resp.Procs, want.Procs) {
+		t.Fatalf("incremental answer diverged:\nincremental: %v %v\nfresh:       %v %v",
+			resp.Nodes, resp.Procs, want.Nodes, want.Procs)
+	}
+	if resp.ClusterLoad != want.ClusterLoad {
+		t.Fatalf("ClusterLoad diverged: %v vs %v", resp.ClusterLoad, want.ClusterLoad)
+	}
+}

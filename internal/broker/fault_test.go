@@ -219,14 +219,15 @@ func TestFaultCostModelCacheRace(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := alloc.Weights{CPULoad: 1}
-	got, _ := r.b.costModel(final, w, false)
+	finalView := snapView{snap: final, fp: final.Fingerprint()}
+	got, _ := r.b.costModel(finalView, w, false)
 	want := alloc.NewCostModel(final, w, false)
 	if !reflect.DeepEqual(got, want) {
 		t.Fatal("cost model cache returned a model that does not match a fresh build for the current snapshot")
 	}
 	// And an immediate second lookup is a hit on that same model.
 	hitsBefore, _ := r.b.ModelCacheStats()
-	if again, hit := r.b.costModel(final, w, false); !reflect.DeepEqual(again, want) || !hit {
+	if again, hit := r.b.costModel(finalView, w, false); !reflect.DeepEqual(again, want) || !hit {
 		t.Fatal("second lookup diverged")
 	}
 	if hitsAfter, _ := r.b.ModelCacheStats(); hitsAfter != hitsBefore+1 {

@@ -206,17 +206,21 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 		"latency/", "bandwidth/")
 	fs.SetRates(store.Rates{TornWrite: 0.02, StaleRead: 0.05})
 	ist := store.Instrument(fs, reg, sched.Now)
+	// Generation tracking sits outermost so even failed (torn) writes
+	// bump generations and the broker's delta snapshot cache re-reads
+	// exactly the keys the chaos schedule perturbed.
+	vst := store.Version(ist)
 
 	pr := &monitor.WorldProber{W: w}
 	mcfg := chaosMonitorConfig()
 	mcfg.Obs = reg
-	mgr := monitor.NewManager(pr, ist, mcfg)
+	mgr := monitor.NewManager(pr, vst, mcfg)
 	if err := mgr.Start(sched); err != nil {
 		return nil, err
 	}
 	defer mgr.Stop()
 
-	b := broker.New(ist, sched, broker.Config{Seed: cfg.Seed + 7, WaitLoadPerCore: 100, Obs: reg})
+	b := broker.New(vst, sched, broker.Config{Seed: cfg.Seed + 7, WaitLoadPerCore: 100, Obs: reg})
 	q := jobqueue.New(b, sched, jobqueue.Config{RetryPeriod: 3 * time.Second, Obs: reg})
 	if err := q.Start(); err != nil {
 		return nil, err

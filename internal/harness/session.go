@@ -42,9 +42,13 @@ type SessionConfig struct {
 // deterministic scheduler, monitor daemons sample it into a shared store,
 // and a broker allocates from that store.
 type Session struct {
-	Sched  *simtime.Scheduler
-	World  *world.World
+	Sched *simtime.Scheduler
+	World *world.World
+	// Store is the raw backing store (values readable directly); VStore
+	// is the generation-tracking wrapper the daemons publish through and
+	// the broker's snapshot cache reads from.
 	Store  *store.MemStore
+	VStore *store.VersionedStore
 	Mgr    *monitor.Manager
 	Broker *broker.Broker
 
@@ -76,16 +80,18 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 	stop := w.Attach(sched)
 
 	st := store.NewMem()
+	vst := store.Version(st)
 	pr := &monitor.WorldProber{W: w}
-	mgr := monitor.NewManager(pr, st, cfg.Monitor)
+	mgr := monitor.NewManager(pr, vst, cfg.Monitor)
 	if err := mgr.Start(sched); err != nil {
 		return nil, err
 	}
-	b := broker.New(st, sched, broker.Config{Seed: cfg.Seed + 7})
+	b := broker.New(vst, sched, broker.Config{Seed: cfg.Seed + 7})
 	return &Session{
 		Sched:     sched,
 		World:     w,
 		Store:     st,
+		VStore:    vst,
 		Mgr:       mgr,
 		Broker:    b,
 		stopWorld: stop,

@@ -79,12 +79,16 @@ type Snapshot struct {
 	Nodes     map[int]NodeAttrs         `json:"nodes"`
 	Latency   map[PairKey]PairLatency   `json:"-"`
 	Bandwidth map[PairKey]PairBandwidth `json:"-"`
-	// Degraded marks a snapshot that is NOT a fresh store read: the
-	// broker sets it when it serves its last-good copy because the
-	// current read failed or aged past the staleness bound. Consumers
-	// can surface it; Fingerprint ignores it (content identity is about
-	// the monitoring data, not how it was obtained).
+	// Degraded marks a snapshot that is NOT a fresh, complete store
+	// read: the broker sets it when it serves its last-good copy because
+	// the current read failed or aged past the staleness bound, and the
+	// snapshot readers set it when a matrix read fails mid-assembly.
+	// Consumers can surface it; Fingerprint ignores it (content identity
+	// is about the monitoring data, not how it was obtained).
 	Degraded bool `json:"degraded,omitempty"`
+	// DegradedReasons lists why the snapshot is degraded (one entry per
+	// failed read). Excluded from Fingerprint like Degraded.
+	DegradedReasons []string `json:"degraded_reasons,omitempty"`
 }
 
 // PairKey identifies an unordered node pair; U < V always.
@@ -141,69 +145,93 @@ func (s *Snapshot) Alive(id int) bool {
 // republished" without comparing every record. Map entries are folded
 // order-independently, so iteration order never changes the hash.
 func (s *Snapshot) Fingerprint() uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
+	var accNodes, accLat, accBW uint64
+	for id, na := range s.Nodes {
+		accNodes += FingerprintNode(id, na) // commutative fold: map order independent
+	}
+	for k, pl := range s.Latency {
+		accLat += FingerprintLatency(k, pl)
+	}
+	for k, pb := range s.Bandwidth {
+		accBW += FingerprintBandwidth(k, pb)
+	}
+	return CombineFingerprint(s.Livehosts, len(s.Nodes), len(s.Latency), len(s.Bandwidth),
+		accNodes, accLat, accBW)
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvFold hashes a fixed sequence of words FNV-style.
+func fnvFold(words ...uint64) uint64 {
+	e := uint64(fnvOffset64)
+	for _, v := range words {
+		e ^= v
+		e *= fnvPrime64
+	}
+	return e
+}
+
+// FingerprintNode is one node record's contribution to the snapshot
+// fingerprint's commutative node accumulator. Exposed so incremental
+// maintainers (monitor.SnapshotCache) can add/subtract single entries
+// and land on exactly the value Fingerprint computes from scratch.
+func FingerprintNode(id int, na NodeAttrs) uint64 {
+	return fnvFold(
+		uint64(uint32(id)),
+		uint64(na.Timestamp.UnixNano()),
+		math.Float64bits(na.CPULoad.M1),
+		math.Float64bits(na.FlowRateBps.M1),
+		math.Float64bits(na.AvailMemMB.M1),
+		uint64(uint32(na.Cores)),
 	)
-	h := uint64(offset64)
+}
+
+// FingerprintLatency is one latency entry's contribution to the
+// snapshot fingerprint's latency accumulator.
+func FingerprintLatency(k PairKey, pl PairLatency) uint64 {
+	return fnvFold(
+		uint64(uint32(k.U))<<32^uint64(uint32(k.V)),
+		uint64(pl.Timestamp.UnixNano()),
+		uint64(pl.Mean1),
+		uint64(pl.Last),
+	)
+}
+
+// FingerprintBandwidth is one bandwidth entry's contribution to the
+// snapshot fingerprint's bandwidth accumulator.
+func FingerprintBandwidth(k PairKey, pb PairBandwidth) uint64 {
+	return fnvFold(
+		uint64(uint32(k.U))<<32^uint64(uint32(k.V)),
+		uint64(pb.Timestamp.UnixNano()),
+		math.Float64bits(pb.AvailBps),
+		math.Float64bits(pb.PeakBps),
+	)
+}
+
+// CombineFingerprint folds the livehosts list, the three section sizes,
+// and the three per-section accumulators (sums of the per-entry
+// Fingerprint* hashes) into the final snapshot fingerprint. Fingerprint
+// is defined in terms of this function, so a cache that maintains the
+// accumulators incrementally reproduces it bit for bit.
+func CombineFingerprint(livehosts []int, nNodes, nLat, nBW int, accNodes, accLat, accBW uint64) uint64 {
+	h := uint64(fnvOffset64)
 	mix := func(v uint64) {
 		h ^= v
-		h *= prime64
+		h *= fnvPrime64
 	}
-	mix(uint64(len(s.Livehosts)))
-	mix(uint64(len(s.Nodes)))
-	mix(uint64(len(s.Latency)))
-	mix(uint64(len(s.Bandwidth)))
-	for i, id := range s.Livehosts {
+	mix(uint64(len(livehosts)))
+	mix(uint64(nNodes))
+	mix(uint64(nLat))
+	mix(uint64(nBW))
+	for i, id := range livehosts {
 		mix(uint64(i)<<32 ^ uint64(uint32(id)))
 	}
-	var acc uint64
-	for id, na := range s.Nodes {
-		e := uint64(offset64)
-		for _, v := range []uint64{
-			uint64(uint32(id)),
-			uint64(na.Timestamp.UnixNano()),
-			math.Float64bits(na.CPULoad.M1),
-			math.Float64bits(na.FlowRateBps.M1),
-			math.Float64bits(na.AvailMemMB.M1),
-			uint64(uint32(na.Cores)),
-		} {
-			e ^= v
-			e *= prime64
-		}
-		acc += e // commutative fold: map order independent
-	}
-	mix(acc)
-	acc = 0
-	for k, pl := range s.Latency {
-		e := uint64(offset64)
-		for _, v := range []uint64{
-			uint64(uint32(k.U))<<32 ^ uint64(uint32(k.V)),
-			uint64(pl.Timestamp.UnixNano()),
-			uint64(pl.Mean1),
-			uint64(pl.Last),
-		} {
-			e ^= v
-			e *= prime64
-		}
-		acc += e
-	}
-	mix(acc)
-	acc = 0
-	for k, pb := range s.Bandwidth {
-		e := uint64(offset64)
-		for _, v := range []uint64{
-			uint64(uint32(k.U))<<32 ^ uint64(uint32(k.V)),
-			uint64(pb.Timestamp.UnixNano()),
-			math.Float64bits(pb.AvailBps),
-			math.Float64bits(pb.PeakBps),
-		} {
-			e ^= v
-			e *= prime64
-		}
-		acc += e
-	}
-	mix(acc)
+	mix(accNodes)
+	mix(accLat)
+	mix(accBW)
 	return h
 }
 
@@ -211,12 +239,13 @@ func (s *Snapshot) Fingerprint() uint64 {
 // plain data).
 func (s *Snapshot) Clone() *Snapshot {
 	c := &Snapshot{
-		Taken:     s.Taken,
-		Degraded:  s.Degraded,
-		Livehosts: append([]int(nil), s.Livehosts...),
-		Nodes:     make(map[int]NodeAttrs, len(s.Nodes)),
-		Latency:   make(map[PairKey]PairLatency, len(s.Latency)),
-		Bandwidth: make(map[PairKey]PairBandwidth, len(s.Bandwidth)),
+		Taken:           s.Taken,
+		Degraded:        s.Degraded,
+		DegradedReasons: append([]string(nil), s.DegradedReasons...),
+		Livehosts:       append([]int(nil), s.Livehosts...),
+		Nodes:           make(map[int]NodeAttrs, len(s.Nodes)),
+		Latency:         make(map[PairKey]PairLatency, len(s.Latency)),
+		Bandwidth:       make(map[PairKey]PairBandwidth, len(s.Bandwidth)),
 	}
 	for k, v := range s.Nodes {
 		c.Nodes[k] = v

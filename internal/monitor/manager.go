@@ -1,11 +1,13 @@
 package monitor
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"nlarm/internal/metrics"
+	"nlarm/internal/obs"
 	"nlarm/internal/simtime"
 	"nlarm/internal/store"
 )
@@ -210,6 +212,18 @@ func (m *Manager) Master() *CentralMonitor {
 // Snapshot assembles the consolidated monitoring view from the store —
 // the allocator's entire input.
 func ReadSnapshot(st store.Store, now time.Time) (*metrics.Snapshot, error) {
+	return ReadSnapshotObs(st, now, nil)
+}
+
+// ReadSnapshotObs is ReadSnapshot with instrumentation. A missing
+// livehosts list fails the whole read; a missing node record or matrix
+// is normal startup state (not yet published) and is skipped silently.
+// Any *other* read failure is partial data being served as if complete:
+// node-state failures count into monitor.snapshot.nodestate.errors, and
+// matrix failures additionally mark the snapshot Degraded with a reason
+// — an empty matrix silently passed off as fresh would make every pair
+// look unmeasured and quietly distort Equation 2.
+func ReadSnapshotObs(st store.Store, now time.Time, reg *obs.Registry) (*metrics.Snapshot, error) {
 	snap := &metrics.Snapshot{
 		Taken:     now,
 		Nodes:     make(map[int]metrics.NodeAttrs),
@@ -224,15 +238,34 @@ func ReadSnapshot(st store.Store, now time.Time) (*metrics.Snapshot, error) {
 	for _, id := range hosts {
 		attrs, err := ReadNodeState(st, id)
 		if err != nil {
-			continue // node state not yet published; skip
+			if !errors.Is(err, store.ErrNotFound) {
+				reg.Counter("monitor.snapshot.nodestate.errors").Inc()
+			}
+			continue // node state unavailable; skip
 		}
 		snap.Nodes[id] = attrs
 	}
-	if lat, err := ReadLatencyMatrix(st); err == nil {
+	lat, err := ReadLatencyMatrix(st)
+	switch {
+	case err == nil:
 		snap.Latency = lat
+	case errors.Is(err, store.ErrNotFound):
+		// Not yet published; the empty matrix is the truth.
+	default:
+		snap.Degraded = true
+		snap.DegradedReasons = append(snap.DegradedReasons, fmt.Sprintf("latency matrix read failed: %v", err))
+		reg.Counter("monitor.snapshot.matrix.errors").Inc()
 	}
-	if bw, err := ReadBandwidthMatrix(st); err == nil {
+	bw, err := ReadBandwidthMatrix(st)
+	switch {
+	case err == nil:
 		snap.Bandwidth = bw
+	case errors.Is(err, store.ErrNotFound):
+		// Not yet published.
+	default:
+		snap.Degraded = true
+		snap.DegradedReasons = append(snap.DegradedReasons, fmt.Sprintf("bandwidth matrix read failed: %v", err))
+		reg.Counter("monitor.snapshot.matrix.errors").Inc()
 	}
 	return snap, nil
 }

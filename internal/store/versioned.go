@@ -1,0 +1,120 @@
+package store
+
+import (
+	"strings"
+	"sync"
+)
+
+// VersionedStore wraps a Store and stamps every written key with a
+// monotonically increasing generation, so readers can find out *which*
+// keys changed since they last looked without re-reading any values.
+// Values pass through unmodified — generations live beside the data, not
+// inside it — so direct readers of the wrapped store see exactly the
+// bytes the writers put there, and the wrapper composes with FileStore,
+// FaultStore, and InstrumentedStore in any inner position.
+//
+// Generations are process-local bookkeeping, which matches how the repo
+// deploys the store: every writer and every generation-aware reader
+// (monitor daemons, the broker's SnapshotCache) share one process. Keys
+// that already exist in the wrapped store at construction time are
+// seeded with an initial generation so a cache built later still sees
+// them.
+//
+// A Put that returns an error still bumps the key's generation: with a
+// torn write (FaultStore, or a crashed FileStore writer) the value may
+// have reached the backend even though the writer saw a failure, and a
+// spurious re-read is harmless while a missed one serves stale data.
+type VersionedStore struct {
+	inner Store
+
+	mu   sync.RWMutex
+	seq  uint64 // bumped by every Put/Delete; cheap "anything changed?" probe
+	ctr  uint64 // generation source; strictly increasing across all keys
+	gens map[string]uint64
+}
+
+// Version wraps inner with generation tracking, seeding generations for
+// every key the wrapped store already holds. Listing errors during
+// seeding are ignored: an unreadable backend simply starts with no
+// seeded generations, and caches treat unknown keys as changed.
+func Version(inner Store) *VersionedStore {
+	v := &VersionedStore{inner: inner, gens: make(map[string]uint64)}
+	if keys, err := inner.List(""); err == nil {
+		for _, k := range keys {
+			v.ctr++
+			v.gens[k] = v.ctr
+			v.seq++
+		}
+	}
+	return v
+}
+
+// Put writes through to the wrapped store and bumps the key's
+// generation (even on error; see the type comment).
+func (v *VersionedStore) Put(key string, value []byte) error {
+	err := v.inner.Put(key, value)
+	v.mu.Lock()
+	v.ctr++
+	v.gens[key] = v.ctr
+	v.seq++
+	v.mu.Unlock()
+	return err
+}
+
+// Get reads through to the wrapped store.
+func (v *VersionedStore) Get(key string) ([]byte, error) { return v.inner.Get(key) }
+
+// List lists through to the wrapped store.
+func (v *VersionedStore) List(prefix string) ([]string, error) { return v.inner.List(prefix) }
+
+// Delete removes the key from the wrapped store and drops its
+// generation, so readers comparing generation maps see the key vanish.
+func (v *VersionedStore) Delete(key string) error {
+	err := v.inner.Delete(key)
+	v.mu.Lock()
+	delete(v.gens, key)
+	v.seq++
+	v.mu.Unlock()
+	return err
+}
+
+// Seq returns a counter bumped by every write (Put or Delete). A reader
+// that remembers the last Seq it acted on can skip the whole
+// generation-map comparison when nothing was written at all — the
+// broker's idle-cluster fast path.
+func (v *VersionedStore) Seq() uint64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.seq
+}
+
+// Generation returns key's current generation, or 0 if the key has
+// never been written (or was deleted).
+func (v *VersionedStore) Generation(key string) uint64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.gens[key]
+}
+
+// Generations returns a copy of the generation map restricted to keys
+// under the given prefixes (no prefixes = every key).
+func (v *VersionedStore) Generations(prefixes ...string) map[string]uint64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[string]uint64, len(v.gens))
+	for k, g := range v.gens {
+		if len(prefixes) == 0 {
+			out[k] = g
+			continue
+		}
+		for _, p := range prefixes {
+			if strings.HasPrefix(k, p) {
+				out[k] = g
+				break
+			}
+		}
+	}
+	return out
+}
+
+var _ Store = (*VersionedStore)(nil)

@@ -1,0 +1,132 @@
+package store
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestVersionedGenerationsBumpPerPut(t *testing.T) {
+	v := Version(NewMem())
+	if got := v.Seq(); got != 0 {
+		t.Fatalf("fresh store Seq = %d, want 0", got)
+	}
+	if got := v.Generation("a"); got != 0 {
+		t.Fatalf("unwritten key generation = %d, want 0", got)
+	}
+	if err := v.Put("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	g1 := v.Generation("a")
+	if g1 == 0 {
+		t.Fatal("written key has generation 0")
+	}
+	if err := v.Put("b", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if gb := v.Generation("b"); gb <= g1 {
+		t.Fatalf("later write generation %d not greater than earlier %d", gb, g1)
+	}
+	if err := v.Put("a", []byte("3")); err != nil {
+		t.Fatal(err)
+	}
+	if g2 := v.Generation("a"); g2 <= v.Generation("b") {
+		t.Fatalf("rewrite generation %d did not move past %d", g2, v.Generation("b"))
+	}
+	if got := v.Seq(); got != 3 {
+		t.Fatalf("Seq after 3 writes = %d, want 3", got)
+	}
+	// Values pass through unmodified.
+	val, err := v.Get("a")
+	if err != nil || string(val) != "3" {
+		t.Fatalf("Get = %q, %v", val, err)
+	}
+}
+
+func TestVersionedDeleteDropsGeneration(t *testing.T) {
+	v := Version(NewMem())
+	if err := v.Put("k", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	seq := v.Seq()
+	if err := v.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Generation("k"); got != 0 {
+		t.Fatalf("deleted key generation = %d, want 0", got)
+	}
+	if v.Seq() != seq+1 {
+		t.Fatalf("Delete did not bump Seq: %d -> %d", seq, v.Seq())
+	}
+	if _, err := v.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after delete: %v, want ErrNotFound", err)
+	}
+}
+
+func TestVersionedSeedsPreexistingKeys(t *testing.T) {
+	inner := NewMem()
+	for _, k := range []string{"x/1", "x/2", "y/1"} {
+		if err := inner.Put(k, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v := Version(inner)
+	for _, k := range []string{"x/1", "x/2", "y/1"} {
+		if v.Generation(k) == 0 {
+			t.Fatalf("pre-existing key %q not seeded", k)
+		}
+	}
+	if v.Seq() == 0 {
+		t.Fatal("seeding left Seq at 0; a cache built before the first write would never notice the seeded keys")
+	}
+}
+
+func TestVersionedGenerationsPrefixFilter(t *testing.T) {
+	v := Version(NewMem())
+	for _, k := range []string{"a/1", "a/2", "b/1"} {
+		if err := v.Put(k, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := v.Generations("a/")
+	if len(got) != 2 {
+		t.Fatalf("Generations(a/) = %v, want the 2 a/ keys", got)
+	}
+	if _, ok := got["b/1"]; ok {
+		t.Fatal("prefix filter leaked b/1")
+	}
+	all := v.Generations()
+	if len(all) != 3 {
+		t.Fatalf("Generations() = %v, want all 3 keys", all)
+	}
+	// The returned map is a copy: mutating it must not corrupt the store.
+	all["a/1"] = 999999
+	if v.Generation("a/1") == 999999 {
+		t.Fatal("Generations returned the live map")
+	}
+}
+
+func TestVersionedBumpsOnFailedPut(t *testing.T) {
+	fs := NewFault(NewMem(), 1)
+	fs.SetRates(Rates{PutError: 1})
+	v := Version(fs)
+	if err := v.Put("k", []byte("x")); err == nil {
+		t.Fatal("fault store accepted the write")
+	}
+	// A failed Put may still have reached the backend (torn write), so
+	// the generation must move: a spurious re-read is harmless, serving
+	// stale data is not.
+	if v.Generation("k") == 0 {
+		t.Fatal("failed Put did not bump the generation")
+	}
+}
+
+func TestVersionedComposesWithInstrument(t *testing.T) {
+	// Version outermost over Instrument: reads through the stack count in
+	// the instrumented counters, which is what the snapshot-cache op-count
+	// assertions rely on.
+	var _ interface {
+		Store
+		Generations(...string) map[string]uint64
+		Seq() uint64
+	} = Version(NewMem())
+}
