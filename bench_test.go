@@ -106,6 +106,25 @@ func BenchmarkTable4Figure7Analysis(b *testing.B) {
 	}
 }
 
+// BenchmarkQueueBackfill runs the FIFO-vs-backfill queue experiment — 64
+// scripted jobs (hog + wide head + 62 walltimed shorts) on the 32-node
+// testbed — and reports both disciplines' mean waits. The improvement
+// itself is asserted by harness.TestBackfillExperimentImproves; here the
+// numbers are archived alongside the other hot-path benchmarks.
+func BenchmarkQueueBackfill(b *testing.B) {
+	var fifoWait, bfWait float64
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunBackfill(harness.BackfillConfig{Seed: uint64(i + 1), Shorts: 62})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fifoWait = res.Modes[0].MeanWaitSec
+		bfWait = res.Modes[1].MeanWaitSec
+	}
+	b.ReportMetric(fifoWait, "fifo-wait-s")
+	b.ReportMetric(bfWait, "backfill-wait-s")
+}
+
 // --- Algorithm micro-benchmarks ---------------------------------------------
 
 // benchSnapshot builds a fully-monitored 60-node snapshot once.

@@ -28,6 +28,8 @@ func main() {
 		size   = flag.Int("size", 16, "problem size for -submit (miniMD s / miniFE nx)")
 		iters  = flag.Int("iters", 0, "iteration count for -submit (0 = app default)")
 		name   = flag.String("name", "", "job name for -submit")
+		wall   = flag.Duration("walltime", 0, "estimated run time for -submit (0 = unknown; only estimated jobs can backfill)")
+		prio   = flag.Int("priority", 0, "queue priority for -submit (higher runs earlier, ties keep submission order)")
 		status = flag.Int("status", 0, "print the status of a submitted job ID and exit")
 		queue  = flag.Bool("queue", false, "print queue statistics and exit")
 	)
@@ -63,6 +65,9 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("job %d (%s): %s attempts=%d waits=%d", info.ID, info.Name, info.State, info.Attempts, info.WaitAnswers)
+		if info.Backfilled {
+			fmt.Printf(" backfilled")
+		}
 		if info.PredictedElapsed > 0 {
 			fmt.Printf(" predicted=%.2fs", info.PredictedElapsed.Seconds())
 		}
@@ -81,7 +86,8 @@ func main() {
 	if *submit != "" {
 		id, err := c.Submit(broker.SubmitRequest{
 			Name: *name, App: *submit, Size: *size, Iterations: *iters,
-			Request: broker.Request{Procs: *procs, PPN: *ppn, Alpha: *alpha, Beta: *beta, Policy: *policy},
+			Request:  broker.Request{Procs: *procs, PPN: *ppn, Alpha: *alpha, Beta: *beta, Policy: *policy},
+			Walltime: *wall, Priority: *prio,
 		})
 		if err != nil {
 			fatal(err)

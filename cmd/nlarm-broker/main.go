@@ -13,6 +13,7 @@ import (
 	"syscall"
 	"time"
 
+	"nlarm/internal/alloc"
 	"nlarm/internal/broker"
 	"nlarm/internal/cluster"
 	"nlarm/internal/jobqueue"
@@ -33,6 +34,8 @@ func main() {
 		latSec   = flag.Duration("latency-period", time.Minute, "LatencyD sweep period")
 		bwSec    = flag.Duration("bandwidth-period", 5*time.Minute, "BandwidthD sweep period")
 		retrySec = flag.Duration("queue-retry", 30*time.Second, "job-queue retry period")
+		backfill = flag.Bool("backfill", true, "EASY-backfill walltimed jobs around a blocked queue head")
+		agingSec = flag.Duration("aging-bound", 30*time.Minute, "stop backfilling once any queued job has waited this long")
 		dumpMet  = flag.Bool("dump-metrics", false, "render the instrumentation registry to stdout on shutdown")
 	)
 	flag.Parse()
@@ -77,8 +80,19 @@ func main() {
 	defer mgr.Stop()
 
 	b := broker.New(vst, rt, broker.Config{Seed: *seed, Obs: reg})
+	// The reserving wrapper closes the monitoring lag for back-to-back
+	// queue launches and shadow-prices the waiting head's claim while the
+	// backfill pass evaluates candidates.
+	res := alloc.NewReservingPolicy(alloc.NetLoadAware{}, 90*time.Second)
+	b.RegisterPolicy(res)
 	// Job submission: queued jobs run as simulated MPI jobs in the world.
-	queue := jobqueue.New(b, rt, jobqueue.Config{RetryPeriod: *retrySec, Obs: reg})
+	queue := jobqueue.New(b, rt, jobqueue.Config{
+		RetryPeriod: *retrySec,
+		Backfill:    *backfill,
+		AgingBound:  *agingSec,
+		Reserve:     res,
+		Obs:         reg,
+	})
 	if err := queue.Start(); err != nil {
 		fatal(err)
 	}

@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		run   = flag.String("run", "all", "artifact to regenerate (all, fig1, fig2, fig4, fig5, table2, fig6, table3, table4, fig7, cov, ablation, multicluster, predict, cosched)")
+		run   = flag.String("run", "all", "artifact to regenerate (all, fig1, fig2, fig4, fig5, table2, fig6, table3, table4, fig7, cov, ablation, multicluster, predict, cosched, backfill)")
 		seed  = flag.Uint64("seed", 42, "simulation seed")
 		quick = flag.Bool("quick", false, "reduced problem sizes and repeats")
 		csv   = flag.String("csv", "", "directory to also write CSV tables into")
@@ -126,6 +126,18 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(harness.FormatAnalysis(d))
+	}
+
+	if want("backfill") {
+		cfg := harness.BackfillConfig{Seed: *seed}
+		if *quick {
+			cfg.Shorts = 4
+		}
+		d, err := harness.RunBackfill(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(harness.FormatBackfill(d))
 	}
 
 	if want("cosched") {

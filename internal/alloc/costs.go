@@ -8,6 +8,7 @@
 package alloc
 
 import (
+	"math"
 	"sort"
 	"time"
 
@@ -193,6 +194,42 @@ func RescaleMeanPair(costs map[metrics.PairKey]float64) {
 // slot instead of dividing by zero.
 func EffectiveProcs(na metrics.NodeAttrs, ppn int) int {
 	return effProcs(na.Cores, na.CPULoad.M1, ppn)
+}
+
+// NodeFreeSlots returns the node's idle process slots:
+//
+//	max(0, coreCount_v − ⌈Load_v⌉)
+//
+// Unlike Equation 3 (EffectiveProcs) it does not wrap at the core count:
+// a saturated node contributes zero slots instead of looking freshly
+// empty. That makes it the right reading for aggregate free-capacity
+// accounting (the job queue's backfill admission and the broker's
+// Response.FreeProcs), where Equation 3's wrap would report a fully
+// busy cluster as fully idle. A non-positive published core count is
+// treated as one core, like effProcs.
+func NodeFreeSlots(na metrics.NodeAttrs) int {
+	cores := na.Cores
+	if cores <= 0 {
+		cores = 1
+	}
+	load := int(math.Ceil(na.CPULoad.M1))
+	if load < 0 {
+		load = 0
+	}
+	if load >= cores {
+		return 0
+	}
+	return cores - load
+}
+
+// FreeSlots sums NodeFreeSlots over the snapshot's monitored livehosts —
+// the cluster's aggregate free capacity estimate.
+func FreeSlots(snap *metrics.Snapshot) int {
+	total := 0
+	for _, id := range MonitoredLivehosts(snap) {
+		total += NodeFreeSlots(snap.Nodes[id])
+	}
+	return total
 }
 
 // MonitoredLivehosts returns the snapshot's live nodes that also have

@@ -16,6 +16,10 @@ import (
 // co-scheduling experiment exposes in the paper's heuristic — back-to-
 // back submissions all greedily pick the same best region because the
 // 1-minute load means lag just-launched jobs.
+//
+// Besides its own grants, external claims can be charged through
+// Reserve — the job queue uses this to shadow-reserve capacity for a
+// waiting head job while it evaluates backfill candidates.
 type ReservingPolicy struct {
 	// Inner is the wrapped policy. Required.
 	Inner Policy
@@ -24,12 +28,18 @@ type ReservingPolicy struct {
 	TTL time.Duration
 
 	mu           sync.Mutex
-	reservations []reservation
+	reservations []*reservation
+	// seen is the latest snapshot clock observed by record/Charged.
+	// Pruning uses max(snap.Taken, seen) so a degraded or stale-read
+	// snapshot carrying an old (or zero) Taken cannot make reservations
+	// immortal: time only moves forward for expiry purposes.
+	seen time.Time
 }
 
 type reservation struct {
-	procs map[int]int
-	at    time.Time
+	procs     map[int]int
+	at        time.Time
+	cancelled bool
 }
 
 // NewReservingPolicy wraps inner with reservation charging.
@@ -51,12 +61,12 @@ func (p *ReservingPolicy) Allocate(snap *metrics.Snapshot, req Request, r *rng.R
 	if p.Inner == nil {
 		return Allocation{}, fmt.Errorf("alloc: reserving policy without inner policy")
 	}
-	charged := p.chargedSnapshot(snap)
+	charged := p.Charged(snap)
 	a, err := p.Inner.Allocate(charged, req, r)
 	if err != nil {
 		return Allocation{}, err
 	}
-	p.record(a, snap.Taken)
+	p.record(a.Procs, snap.Taken)
 	a.Policy = p.Name()
 	return a, nil
 }
@@ -70,7 +80,7 @@ func (p *ReservingPolicy) AllocateModel(m *CostModel, req Request, r *rng.Rand) 
 		return Allocation{}, fmt.Errorf("alloc: reserving policy without inner policy")
 	}
 	snap := m.Snap
-	charged := p.chargedSnapshot(snap)
+	charged := p.Charged(snap)
 	var a Allocation
 	var err error
 	inner, ok := p.Inner.(ModelPolicy)
@@ -88,22 +98,34 @@ func (p *ReservingPolicy) AllocateModel(m *CostModel, req Request, r *rng.Rand) 
 	if err != nil {
 		return Allocation{}, err
 	}
-	p.record(a, snap.Taken)
+	p.record(a.Procs, snap.Taken)
 	a.Policy = p.Name()
 	return a, nil
 }
 
-// chargedSnapshot prunes expired reservations and charges the live ones
-// onto a copy of snap (snap itself is returned untouched when there is
-// nothing to charge).
-func (p *ReservingPolicy) chargedSnapshot(snap *metrics.Snapshot) *metrics.Snapshot {
+// Charged prunes expired reservations and charges the live ones onto a
+// copy of snap (snap itself is returned untouched when there is nothing
+// to charge). The job queue calls this directly to price free capacity
+// the way the wrapped allocator will see it.
+//
+// Charging also prunes nodes left without a single free slot from the
+// copy's livehosts: Equation 3's wrap (EffectiveProcs) would otherwise
+// report a saturated node as freshly empty during the inner policy's
+// fill step, piling reserved ranks onto exactly the nodes that have
+// nothing to give. When every node is saturated the universe is kept
+// as-is — an oversubscribed allocation still beats failing outright.
+func (p *ReservingPolicy) Charged(snap *metrics.Snapshot) *metrics.Snapshot {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	now := p.advanceLocked(snap.Taken)
 	live := p.reservations[:0]
 	for _, res := range p.reservations {
-		if snap.Taken.Sub(res.at) < p.TTL {
+		if !res.cancelled && now.Sub(res.at) < p.TTL {
 			live = append(live, res)
 		}
+	}
+	for i := len(live); i < len(p.reservations); i++ {
+		p.reservations[i] = nil
 	}
 	p.reservations = live
 	charged := snap
@@ -120,7 +142,14 @@ func (p *ReservingPolicy) chargedSnapshot(snap *metrics.Snapshot) *metrics.Snaps
 				na.CPULoad.M1 += float64(ranks)
 				na.CPULoad.M5 += float64(ranks)
 				na.CPULoad.M15 += float64(ranks)
-				occ := float64(ranks) / float64(na.Cores) * 100
+				cores := na.Cores
+				if cores <= 0 {
+					// Guard the occupancy share like effProcs guards
+					// Equation 3: a node publishing no core count would
+					// otherwise price at ±Inf/NaN and poison Equation 1.
+					cores = 1
+				}
+				occ := float64(ranks) / float64(cores) * 100
 				if na.CPUUtilPct.M1+occ > 100 {
 					occ = 100 - na.CPUUtilPct.M1
 				}
@@ -132,29 +161,78 @@ func (p *ReservingPolicy) chargedSnapshot(snap *metrics.Snapshot) *metrics.Snaps
 				charged.Nodes[node] = na
 			}
 		}
+		keep := charged.Livehosts[:0]
+		for _, id := range charged.Livehosts {
+			na, ok := charged.Nodes[id]
+			if !ok || NodeFreeSlots(na) > 0 {
+				keep = append(keep, id)
+			}
+		}
+		if len(keep) > 0 {
+			charged.Livehosts = keep
+		}
 	}
 	return charged
 }
 
-// record registers a grant as a new reservation stamped at the
-// snapshot's clock.
-func (p *ReservingPolicy) record(a Allocation, at time.Time) {
-	procs := make(map[int]int, len(a.Procs))
-	for n, c := range a.Procs {
-		procs[n] = c
+// advanceLocked folds a snapshot clock reading into the policy's
+// monotonic view of time and returns the pruning clock. Callers must
+// hold p.mu.
+func (p *ReservingPolicy) advanceLocked(taken time.Time) time.Time {
+	if taken.After(p.seen) {
+		p.seen = taken
+	}
+	return p.seen
+}
+
+// record registers a grant as a new reservation. A zero or stale stamp
+// is lifted to the latest clock seen so the reservation still expires
+// TTL from "now" rather than living (or dying) on a skewed clock.
+func (p *ReservingPolicy) record(procs map[int]int, at time.Time) {
+	cp := make(map[int]int, len(procs))
+	for n, c := range procs {
+		cp[n] = c
 	}
 	p.mu.Lock()
-	p.reservations = append(p.reservations, reservation{procs: procs, at: at})
+	at2 := p.advanceLocked(at)
+	p.reservations = append(p.reservations, &reservation{procs: cp, at: at2})
 	p.mu.Unlock()
 }
 
-// Outstanding returns the number of live reservations as of t.
+// Reserve charges an externally computed claim (node → reserved ranks)
+// like a grant, so every subsequent Charged/Allocate prices it into
+// Equation 1. It returns a cancel function that releases the claim
+// early; otherwise it expires after TTL like any reservation. The job
+// queue uses this for the waiting head job's shadow reservation, which
+// it re-computes (and re-charges) every scheduling pass.
+func (p *ReservingPolicy) Reserve(procs map[int]int, at time.Time) func() {
+	cp := make(map[int]int, len(procs))
+	for n, c := range procs {
+		cp[n] = c
+	}
+	res := &reservation{procs: cp}
+	p.mu.Lock()
+	res.at = p.advanceLocked(at)
+	p.reservations = append(p.reservations, res)
+	p.mu.Unlock()
+	return func() {
+		p.mu.Lock()
+		res.cancelled = true
+		p.mu.Unlock()
+	}
+}
+
+// Outstanding returns the number of live reservations as of t. Like
+// pruning, it never lets t rewind below the latest clock already seen.
 func (p *ReservingPolicy) Outstanding(t time.Time) int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.seen.After(t) {
+		t = p.seen
+	}
 	n := 0
 	for _, res := range p.reservations {
-		if t.Sub(res.at) < p.TTL {
+		if !res.cancelled && t.Sub(res.at) < p.TTL {
 			n++
 		}
 	}

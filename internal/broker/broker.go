@@ -11,6 +11,7 @@ package broker
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -80,6 +81,19 @@ type Response struct {
 	SnapshotAge    time.Duration    `json:"snapshot_age"`
 	ClusterLoad    float64          `json:"cluster_load_per_core"`
 	Allocation     alloc.Allocation `json:"-"`
+	// FreeProcs is the cluster's aggregate idle process slots in the
+	// served snapshot (Σ NodeFreeSlots over monitored livehosts) — the
+	// non-wrapping free-capacity reading the job queue's backfill
+	// admission works from. Populated for every outcome, including waits
+	// and errors past the snapshot read.
+	FreeProcs int `json:"free_procs"`
+	// EarliestStart estimates, on wait answers only, when the cluster-wide
+	// load will have decayed back to the wait threshold: assuming the
+	// 1-minute load means decay exponentially with their 60-second time
+	// constant, load(t) = load·exp(-t/60s) reaches the threshold at
+	// now + ln(load/threshold)·60s. The job queue uses it as the head
+	// job's reserved-start estimate; it is a model, not a promise.
+	EarliestStart time.Time `json:"earliest_start,omitempty"`
 	// Degraded reports that the monitoring store could not serve a fresh
 	// snapshot and the answer came from the broker's last-good copy
 	// (restricted to nodes still present in the current livehosts list
@@ -430,6 +444,26 @@ func clusterLoadPerCore(snap *metrics.Snapshot) float64 {
 	return totalLoad / totalCores
 }
 
+// loadDecayETA estimates how long until a per-core load above the wait
+// threshold decays back to it. The 1-minute running means behave like an
+// exponential moving average with a 60-second time constant, so once the
+// demand that produced the spike ends, load(t) ≈ load·exp(-t/60s); that
+// crosses threshold at t = ln(load/threshold)·60s. The estimate is
+// floored at one second so a hair-above-threshold answer still points
+// into the future, and it is only a model — jobs may end later (or
+// demand may persist), so callers must treat it as a hint, never a
+// deadline.
+func loadDecayETA(load, threshold float64) time.Duration {
+	if threshold <= 0 || load <= threshold {
+		return time.Second
+	}
+	eta := time.Duration(math.Log(load/threshold) * float64(time.Minute))
+	if eta < time.Second {
+		eta = time.Second
+	}
+	return eta
+}
+
 // Allocate serves one request, recording a structured decision record
 // (request shape, candidate count, chosen nodes with per-node CL and
 // pairwise NL contributions, cache hit, degraded flag) for every outcome
@@ -458,6 +492,8 @@ func (b *Broker) Allocate(req Request) (Response, error) {
 	rec.DegradedReason = resp.DegradedReason
 	rec.SnapshotAge = resp.SnapshotAge
 	rec.ClusterLoad = resp.ClusterLoad
+	rec.FreeProcs = resp.FreeProcs
+	rec.EarliestStart = resp.EarliestStart
 	if err != nil {
 		rec.Error = err.Error()
 	} else {
@@ -501,7 +537,7 @@ func (b *Broker) allocate(req Request) (Response, *alloc.CostModel, bool, error)
 	snap := sv.snap
 
 	loadPerCore := clusterLoadPerCore(snap)
-	resp := Response{Policy: pol.Name(), ClusterLoad: loadPerCore}
+	resp := Response{Policy: pol.Name(), ClusterLoad: loadPerCore, FreeProcs: alloc.FreeSlots(snap)}
 	if degradedReason != "" {
 		resp.Degraded = true
 		resp.DegradedReason = degradedReason
@@ -511,6 +547,7 @@ func (b *Broker) allocate(req Request) (Response, *alloc.CostModel, bool, error)
 	}
 	if loadPerCore > b.cfg.WaitLoadPerCore && !req.Force {
 		resp.Recommendation = RecommendWait
+		resp.EarliestStart = b.rt.Now().Add(loadDecayETA(loadPerCore, b.cfg.WaitLoadPerCore))
 		return resp, nil, false, nil
 	}
 

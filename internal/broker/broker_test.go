@@ -170,6 +170,67 @@ func TestWaitRecommendation(t *testing.T) {
 	}
 }
 
+func TestFreeProcsAndEarliestStart(t *testing.T) {
+	// Idle cluster: 8 nodes × 8 cores with only trickle background load
+	// should report most slots free, and a successful answer carries no
+	// earliest-start estimate.
+	idle := newRig(t, 41, loadgen.Config{})
+	resp, err := idle.b.Allocate(Request{Procs: 8, PPN: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.FreeProcs < 32 || resp.FreeProcs > 64 {
+		t.Fatalf("idle cluster FreeProcs = %d, want most of 64 slots", resp.FreeProcs)
+	}
+	if !resp.EarliestStart.IsZero() {
+		t.Fatalf("allocate answer carries EarliestStart %v", resp.EarliestStart)
+	}
+	recs := idle.b.Decisions(1)
+	if len(recs) != 1 || recs[0].FreeProcs != resp.FreeProcs {
+		t.Fatalf("decision record FreeProcs = %+v, want %d", recs, resp.FreeProcs)
+	}
+
+	// Saturated cluster: zero free slots, and the wait answer estimates
+	// when the load will have decayed back to the threshold.
+	heavy := newRig(t, 42, loadgen.Config{BaseCPULoad: 12, SessionRatePerHour: 0.001})
+	now := heavy.sched.Now()
+	wait, err := heavy.b.Allocate(Request{Procs: 8, PPN: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wait.Recommendation != RecommendWait {
+		t.Fatalf("overloaded cluster got %v", wait.Recommendation)
+	}
+	if wait.FreeProcs != 0 {
+		t.Fatalf("saturated cluster FreeProcs = %d, want 0", wait.FreeProcs)
+	}
+	if !wait.EarliestStart.After(now) || wait.EarliestStart.After(now.Add(10*time.Minute)) {
+		t.Fatalf("EarliestStart %v not in (now, now+10m]", wait.EarliestStart.Sub(now))
+	}
+	recs = heavy.b.Decisions(1)
+	if len(recs) != 1 || !recs[0].EarliestStart.Equal(wait.EarliestStart) {
+		t.Fatalf("decision record EarliestStart = %+v, want %v", recs, wait.EarliestStart)
+	}
+}
+
+func TestLoadDecayETA(t *testing.T) {
+	if got := loadDecayETA(0.5, 0.9); got != time.Second {
+		t.Fatalf("below-threshold ETA %v, want the 1s floor", got)
+	}
+	if got := loadDecayETA(1.0, 0); got != time.Second {
+		t.Fatalf("zero threshold ETA %v, want the 1s floor", got)
+	}
+	lo, hi := loadDecayETA(1.2, 0.9), loadDecayETA(4.0, 0.9)
+	if lo <= 0 || hi <= lo {
+		t.Fatalf("ETA not increasing in load: %v then %v", lo, hi)
+	}
+	// ln(2)·60s ≈ 41.5s: a load at twice the threshold decays back in
+	// under a minute on the 1-minute window's time constant.
+	if got := loadDecayETA(1.8, 0.9); got < 40*time.Second || got > 43*time.Second {
+		t.Fatalf("2× threshold ETA = %v, want ≈41.5s", got)
+	}
+}
+
 func TestStaleMonitorRefused(t *testing.T) {
 	r := newRig(t, 5, loadgen.Config{})
 	// Stop all monitoring, let data age beyond the threshold.

@@ -42,6 +42,8 @@ type DecisionRecord struct {
 	DegradedReason string         `json:"degraded_reason,omitempty"`
 	SnapshotAge    time.Duration  `json:"snapshot_age,omitempty"`
 	ClusterLoad    float64        `json:"cluster_load_per_core,omitempty"`
+	FreeProcs      int            `json:"free_procs,omitempty"`
+	EarliestStart  time.Time      `json:"earliest_start,omitempty"`
 
 	// How the answer was produced.
 	Candidates int  `json:"candidates,omitempty"` // sub-graphs considered (model policies: one per live node)

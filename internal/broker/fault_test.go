@@ -145,6 +145,108 @@ func TestFaultDegradedFiltersNodesGoneFromLivehosts(t *testing.T) {
 	}
 }
 
+// TestFaultStaleReadCannotSkewReservationClock is the regression test
+// for the reservation-expiry clock-skew fix (ISSUE 5): the chaos
+// harness's stale-read fault makes node-state reads serve their
+// previous values, the broker detects the data as stale and degrades to
+// its last-good snapshot — whose Taken is older than clocks the
+// ReservingPolicy has already seen. Under the old arithmetic
+// (snap.Taken.Sub(res.at) < TTL with no monotonic bound) a reservation
+// recorded from that degraded serve was stamped at the rewound clock
+// and died the moment a fresh snapshot arrived, re-opening the herding
+// window the policy exists to close. The monotonic `seen` clock keeps
+// it alive for its full TTL.
+func TestFaultStaleReadCannotSkewReservationClock(t *testing.T) {
+	r := newFaultRig(t, 24)
+	const ttl = 12 * time.Second
+	r.mgr.Stop()
+	r.b.cfg.SnapshotMaxAge = 8 * time.Second
+	rp := alloc.NewReservingPolicy(alloc.LoadAware{}, ttl)
+	r.b.RegisterPolicy(rp)
+	req := Request{Procs: 4, Policy: rp.Name()}
+
+	// A fresh allocation records a reservation at T; the broker's
+	// last-good copy keeps that same Taken.
+	if resp, err := r.b.Allocate(req); err != nil || resp.Degraded {
+		t.Fatalf("fresh allocate: degraded=%v err=%v", resp.Degraded, err)
+	}
+	base, err := r.b.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The backfill queue's capacity pass prices free slots through
+	// Charged with its own freshly-stamped snapshot — advancing the
+	// policy's clock to T+6s without touching the broker's last-good copy
+	// or its fingerprint-keyed model cache.
+	r.sched.RunFor(6 * time.Second)
+	snap6, err := r.b.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp.Charged(snap6)
+
+	// Arm the stale-read fault, then republish node state: each Put
+	// records the old record as the key's stale value, and every
+	// subsequent read serves that old record.
+	r.fs.SetScope(monitor.KeyNodeStatePrefix)
+	r.fs.SetRates(store.Rates{StaleRead: 1})
+	publish := func(ts time.Time) {
+		for _, id := range base.Livehosts {
+			attrs := base.Nodes[id]
+			attrs.Timestamp = ts
+			bts, err := json.Marshal(attrs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := r.fs.Put(fmt.Sprintf("%s%d", monitor.KeyNodeStatePrefix, id), bts); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	publish(r.sched.Now())
+
+	// The stale reads push the served data past SnapshotMaxAge, so this
+	// allocation is answered from the last-good copy and its reservation
+	// is recorded against a snapshot whose Taken (T) has rewound behind
+	// the clock the policy already saw (T+6s). The monotonic fallback
+	// stamps it at T+6s; the skewed arithmetic stamped it at T.
+	r.sched.RunFor(9 * time.Second)
+	resp, err := r.b.Allocate(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Degraded || !strings.Contains(resp.DegradedReason, "older than") {
+		t.Fatalf("stale-read fault did not degrade: degraded=%v reason=%q", resp.Degraded, resp.DegradedReason)
+	}
+	if r.fs.FaultCount(store.FaultStaleRead) == 0 {
+		t.Fatal("stale-read fault never fired")
+	}
+	// At T+15s the first grant (age 15s) is expired and the degraded
+	// grant (age 9s on the monotonic clock) is live. The old arithmetic
+	// priced the degraded grant as 15s old and reported zero.
+	if got := rp.Outstanding(r.sched.Now()); got != 1 {
+		t.Fatalf("Outstanding during degradation = %d, want 1", got)
+	}
+
+	// Heal and recover with genuinely fresh data. The reservation from
+	// the degraded serve is 11s old on the monotonic clock — still inside
+	// its 12s TTL. The skewed arithmetic would have stamped it at the
+	// rewound Taken (17s ago) and pruned it here, re-opening the herding
+	// window right when the cluster is recovering.
+	r.fs.SetRates(store.Rates{})
+	r.sched.RunFor(2 * time.Second)
+	publish(r.sched.Now())
+	if resp, err := r.b.Allocate(req); err != nil || resp.Degraded {
+		t.Fatalf("healed allocate: degraded=%v err=%v", resp.Degraded, err)
+	}
+	// Live now: the degraded-serve grant (11s) and the healed grant (0s).
+	// The first grant (17s) expired on schedule.
+	if got := rp.Outstanding(r.sched.Now()); got != 2 {
+		t.Fatalf("Outstanding after heal = %d, want 2 (degraded-serve reservation must live its full TTL)", got)
+	}
+}
+
 func TestFaultNoLastGoodStillErrors(t *testing.T) {
 	sched := simtime.NewScheduler(t0)
 	fs := store.NewFault(store.NewMem(), 9)

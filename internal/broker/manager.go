@@ -16,6 +16,13 @@ type SubmitRequest struct {
 	Iterations int `json:"iterations,omitempty"`
 	// Request is the allocation request made when the job is launched.
 	Request Request `json:"request"`
+	// Walltime is the user's estimated run time. Zero means unknown; the
+	// backfill scheduler only considers jobs with an estimate, exactly
+	// like EASY backfill in batch schedulers.
+	Walltime time.Duration `json:"walltime,omitempty"`
+	// Priority orders the queue: higher runs earlier, ties keep
+	// submission order. Zero is the default priority.
+	Priority int `json:"priority,omitempty"`
 }
 
 // JobInfo is the externally visible state of a submitted job.
@@ -31,7 +38,13 @@ type JobInfo struct {
 	// PredictedElapsed is the launch-time execution-time prediction from
 	// monitoring data (0 when predictions are disabled).
 	PredictedElapsed time.Duration `json:"predicted_elapsed,omitempty"`
-	Error            string        `json:"error,omitempty"`
+	// Walltime and Priority echo the submitted estimate and queue
+	// priority; Backfilled reports that the job was started out of FIFO
+	// order by the backfill scheduler.
+	Walltime   time.Duration `json:"walltime,omitempty"`
+	Priority   int           `json:"priority,omitempty"`
+	Backfilled bool          `json:"backfilled,omitempty"`
+	Error      string        `json:"error,omitempty"`
 }
 
 // QueueStats summarizes the manager's queue.

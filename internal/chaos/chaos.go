@@ -53,6 +53,7 @@ type Event struct {
 	Node   int    // node id (node-down/node-up)
 }
 
+// String renders the event for logs and traces.
 func (e Event) String() string {
 	switch e.Kind {
 	case KindNodeDown, KindNodeUp:

@@ -1,0 +1,61 @@
+package harness
+
+import (
+	"testing"
+)
+
+// TestBackfillExperimentImproves is the acceptance check for the
+// backfill scheduler: on the scripted contention scenario, EASY backfill
+// strictly reduces mean wait and makespan versus FIFO, actually
+// backfills jobs, and starves nothing in either mode.
+func TestBackfillExperimentImproves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full queue experiment")
+	}
+	res, err := RunBackfill(BackfillConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Modes) != 2 {
+		t.Fatalf("modes %+v", res.Modes)
+	}
+	fifo, bf := res.Modes[0], res.Modes[1]
+	if fifo.Mode != "fifo" || bf.Mode != "backfill" {
+		t.Fatalf("mode order %q %q", fifo.Mode, bf.Mode)
+	}
+	if fifo.Failed != 0 || bf.Failed != 0 {
+		t.Fatalf("starved jobs: fifo %d backfill %d", fifo.Failed, bf.Failed)
+	}
+	if fifo.Backfilled != 0 {
+		t.Fatalf("FIFO mode backfilled %d jobs", fifo.Backfilled)
+	}
+	if bf.Backfilled == 0 {
+		t.Fatal("backfill mode never backfilled")
+	}
+	if bf.MeanWaitSec >= fifo.MeanWaitSec {
+		t.Fatalf("mean wait not improved: backfill %.1fs vs fifo %.1fs", bf.MeanWaitSec, fifo.MeanWaitSec)
+	}
+	if bf.MakespanSec >= fifo.MakespanSec {
+		t.Fatalf("makespan not improved: backfill %.1fs vs fifo %.1fs", bf.MakespanSec, fifo.MakespanSec)
+	}
+	t.Logf("\n%s", FormatBackfill(res))
+}
+
+// TestBackfillExperimentDeterministic re-runs the backfill mode and
+// demands identical numbers — the whole stack is seeded.
+func TestBackfillExperimentDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full queue experiment")
+	}
+	a, err := runBackfillMode(BackfillConfig{Seed: 5, Shorts: 4}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runBackfillMode(BackfillConfig{Seed: 5, Shorts: 4}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Fatalf("experiment not deterministic:\n%+v\n%+v", *a, *b)
+	}
+}

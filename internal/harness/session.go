@@ -33,6 +33,9 @@ type SessionConfig struct {
 	World world.Config
 	// Monitor overrides the monitoring cadence.
 	Monitor monitor.Config
+	// Broker overrides the broker configuration (a zero Seed defaults to
+	// SessionConfig.Seed+7, preserving historical traces).
+	Broker broker.Config
 	// Start is the virtual start time; defaults to a fixed epoch so runs
 	// are reproducible.
 	Start time.Time
@@ -86,7 +89,11 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 	if err := mgr.Start(sched); err != nil {
 		return nil, err
 	}
-	b := broker.New(vst, sched, broker.Config{Seed: cfg.Seed + 7})
+	bcfg := cfg.Broker
+	if bcfg.Seed == 0 {
+		bcfg.Seed = cfg.Seed + 7
+	}
+	b := broker.New(vst, sched, bcfg)
 	return &Session{
 		Sched:     sched,
 		World:     w,

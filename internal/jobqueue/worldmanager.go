@@ -78,8 +78,10 @@ func (m *WorldManager) Submit(req broker.SubmitRequest) (int, error) {
 		name = fmt.Sprintf("%s-%d", strings.ToLower(req.App), req.Size)
 	}
 	spec := Spec{
-		Name:    name,
-		Request: req.Request,
+		Name:     name,
+		Request:  req.Request,
+		Walltime: req.Walltime,
+		Priority: req.Priority,
 		Start: func(queueID int, resp broker.Response, done func(error)) error {
 			shape, err := buildShape(req)
 			if err != nil {
@@ -128,6 +130,9 @@ func (m *WorldManager) Status(id int) (broker.JobInfo, bool) {
 		State:       string(j.State),
 		Attempts:    j.Attempts,
 		WaitAnswers: j.WaitAnswers,
+		Walltime:    j.Walltime,
+		Priority:    j.Priority,
+		Backfilled:  j.Backfilled,
 	}
 	if j.Err != nil {
 		info.Error = j.Err.Error()

@@ -27,6 +27,7 @@ const (
 	RoleMaster
 )
 
+// String names the role for logs.
 func (r Role) String() string {
 	if r == RoleMaster {
 		return "master"

@@ -209,8 +209,8 @@ func (m *Manager) Master() *CentralMonitor {
 	return nil
 }
 
-// Snapshot assembles the consolidated monitoring view from the store —
-// the allocator's entire input.
+// ReadSnapshot assembles the consolidated monitoring view from the
+// store — the allocator's entire input.
 func ReadSnapshot(st store.Store, now time.Time) (*metrics.Snapshot, error) {
 	return ReadSnapshotObs(st, now, nil)
 }

@@ -36,6 +36,7 @@ const (
 	Barrier
 )
 
+// String names the collective for traces.
 func (k CollectiveKind) String() string {
 	switch k {
 	case Broadcast:

@@ -13,6 +13,7 @@ const (
 	Maximize
 )
 
+// String names the criterion.
 func (c Criterion) String() string {
 	switch c {
 	case Minimize:

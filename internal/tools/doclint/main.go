@@ -1,0 +1,192 @@
+// doclint is the repo's comment-lint gate: every exported top-level
+// declaration must carry a doc comment, and the comment must start with
+// the name it documents (the go doc convention, so rendered docs read as
+// sentences). go vet does not check comments at all, and a malformed or
+// missing doc slips through review easily — this keeps the public
+// surface of the internal packages self-describing.
+//
+// Usage:
+//
+//	go run ./internal/tools/doclint [dir]
+//
+// It walks dir (default ".") recursively, skipping _test.go files,
+// testdata, and hidden directories, and exits non-zero listing every
+// violation as file:line: message.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var files []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name != "." && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doclint:", err)
+		os.Exit(1)
+	}
+
+	bad := 0
+	fset := token.NewFileSet()
+	for _, path := range files {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doclint:", err)
+			os.Exit(1)
+		}
+		for _, msg := range lintFile(fset, f) {
+			fmt.Println(msg)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d violation(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// lintFile checks every exported top-level declaration of one parsed
+// file and returns the violations as file:line: message strings.
+func lintFile(fset *token.FileSet, f *ast.File) []string {
+	var out []string
+	report := func(pos token.Pos, format string, args ...any) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: %s", p.Filename, p.Line, fmt.Sprintf(format, args...)))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || exportedRecv(d) {
+				continue
+			}
+			checkDoc(report, d.Pos(), d.Doc, declName(d), d.Name.Name)
+		case *ast.GenDecl:
+			if d.Tok == token.IMPORT {
+				continue
+			}
+			for _, spec := range d.Specs {
+				// A factored block's group doc may cover every spec at
+				// once ("Fault kinds counted by ..."), so the name-prefix
+				// rule applies only to a spec's own doc comment.
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if !s.Name.IsExported() {
+						continue
+					}
+					name := s.Name.Name
+					if s.Doc == nil {
+						name = ""
+					}
+					checkDoc(report, s.Pos(), firstDoc(s.Doc, d.Doc), "type "+s.Name.Name, name)
+				case *ast.ValueSpec:
+					for _, n := range s.Names {
+						if !n.IsExported() {
+							continue
+						}
+						name := n.Name
+						if s.Doc == nil {
+							name = ""
+						}
+						checkDoc(report, n.Pos(), firstDoc(s.Doc, d.Doc), tokWord(d.Tok)+" "+n.Name, name)
+						break // one doc covers the whole spec
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// exportedRecv reports whether fn is a method on an unexported receiver
+// type — its doc never renders, so it is exempt.
+func exportedRecv(fn *ast.FuncDecl) bool {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return false
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && !id.IsExported()
+}
+
+// declName renders a function or method declaration for messages.
+func declName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil {
+		return "func " + fn.Name.Name
+	}
+	return "method " + fn.Name.Name
+}
+
+// firstDoc returns the spec's own doc if present, else the group doc
+// (a factored const/var/type block may document the whole group once).
+func firstDoc(specDoc, groupDoc *ast.CommentGroup) *ast.CommentGroup {
+	if specDoc != nil {
+		return specDoc
+	}
+	return groupDoc
+}
+
+// tokWord names a GenDecl token for messages.
+func tokWord(t token.Token) string {
+	switch t {
+	case token.CONST:
+		return "const"
+	case token.VAR:
+		return "var"
+	}
+	return t.String()
+}
+
+// checkDoc enforces the two rules: a doc comment exists, and (when name
+// is non-empty) its first sentence mentions the declared name, leading
+// articles allowed.
+func checkDoc(report func(token.Pos, string, ...any), pos token.Pos, doc *ast.CommentGroup, what, name string) {
+	if doc == nil || strings.TrimSpace(doc.Text()) == "" {
+		report(pos, "exported %s has no doc comment", what)
+		return
+	}
+	if name == "" {
+		return
+	}
+	text := strings.TrimSpace(doc.Text())
+	if strings.HasPrefix(text, "Deprecated:") {
+		return
+	}
+	for _, article := range []string{"A ", "An ", "The "} {
+		text = strings.TrimPrefix(text, article)
+	}
+	if !strings.HasPrefix(text, name) {
+		report(pos, "doc comment of exported %s should start with %q", what, name)
+	}
+}

@@ -25,6 +25,7 @@ type LinkID struct {
 	B int
 }
 
+// String renders the link as kind:a-b.
 func (l LinkID) String() string {
 	return fmt.Sprintf("%s:%d-%d", l.Kind, l.A, l.B)
 }
