@@ -303,6 +303,118 @@ func BenchmarkAllocate32Nodes(b *testing.B)  { benchmarkAllocateN(b, 32) }
 func BenchmarkAllocate128Nodes(b *testing.B) { benchmarkAllocateN(b, 128) }
 func BenchmarkAllocate256Nodes(b *testing.B) { benchmarkAllocateN(b, 256) }
 
+// shardedBenchSnapshot builds a topology-structured snapshot of nShards
+// shards of shardSize nodes each: full-mesh measurements inside every
+// shard plus a few measured boundary pairs per shard pair. A full mesh
+// at 4096 nodes would need ~8.4M pair records (gigabytes of map
+// entries); the sampled shape mirrors what the sweeping monitors
+// actually measure on a fat tree, and it is the shape the hierarchical
+// model's O(Σ sᵢ² + samples) construction is built for.
+func shardedBenchSnapshot(nShards, shardSize int, seed uint64) (*metrics.Snapshot, [][]int) {
+	r := rng.New(seed)
+	n := nShards * shardSize
+	taken := time.Date(2020, 3, 2, 8, 0, 0, 0, time.UTC)
+	snap := &metrics.Snapshot{
+		Taken:     taken,
+		Nodes:     make(map[int]metrics.NodeAttrs, n),
+		Latency:   make(map[metrics.PairKey]metrics.PairLatency),
+		Bandwidth: make(map[metrics.PairKey]metrics.PairBandwidth),
+	}
+	groups := make([][]int, nShards)
+	for i := 0; i < n; i++ {
+		snap.Livehosts = append(snap.Livehosts, i)
+		groups[i/shardSize] = append(groups[i/shardSize], i)
+		load := r.Range(0, 8)
+		na := metrics.NodeAttrs{
+			NodeID: i, Hostname: "bench", Timestamp: taken,
+			Cores: 12, FreqGHz: 4.6, TotalMemMB: 16384,
+		}
+		na.CPULoad = stats.Windowed{M1: load, M5: load, M15: load}
+		na.CPUUtilPct = stats.Windowed{M1: load * 8, M5: load * 8, M15: load * 8}
+		na.FlowRateBps = stats.Windowed{M1: r.Range(1e5, 1e8), M5: 1e6, M15: 1e6}
+		na.AvailMemMB = stats.Windowed{M1: r.Range(2000, 15000), M5: 12000, M15: 12000}
+		snap.Nodes[i] = na
+	}
+	measure := func(i, j int, latUS, latSpreadUS int, availLo, availHi float64) {
+		key := metrics.Pair(i, j)
+		lat := time.Duration(latUS+r.Intn(latSpreadUS)) * time.Microsecond
+		snap.Latency[key] = metrics.PairLatency{U: i, V: j, Timestamp: taken, Last: lat, Mean1: lat}
+		snap.Bandwidth[key] = metrics.PairBandwidth{
+			U: i, V: j, Timestamp: taken,
+			AvailBps: r.Range(availLo, availHi), PeakBps: 125e6,
+		}
+	}
+	for _, members := range groups {
+		for a := 0; a < len(members); a++ {
+			for b := a + 1; b < len(members); b++ {
+				measure(members[a], members[b], 50, 100, 80e6, 120e6)
+			}
+		}
+	}
+	for sa := 0; sa < nShards; sa++ {
+		for sb := sa + 1; sb < nShards; sb++ {
+			for k := 0; k < 4; k++ {
+				measure(groups[sa][k%shardSize], groups[sb][(k*7)%shardSize], 300, 600, 10e6, 60e6)
+			}
+		}
+	}
+	return snap, groups
+}
+
+// BenchmarkAllocate1024Nodes races the exhaustive dense path against the
+// topology-sharded hierarchical path on the same 16×64-node snapshot,
+// model construction included — the broker rebuilds the model whenever
+// the monitoring view changes, so construction is part of the hot path.
+func BenchmarkAllocate1024Nodes(b *testing.B) {
+	snap, groups := shardedBenchSnapshot(16, 64, 42)
+	req, err := alloc.Request{Procs: 64, PPN: 2, Alpha: 0.3, Beta: 0.7}.Validate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("dense", func(b *testing.B) {
+		r := rng.New(1)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := (alloc.NetLoadAware{}).Allocate(snap, req, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sharded", func(b *testing.B) {
+		opts := alloc.ShardOptions{Plan: alloc.NewShardPlan(groups, "bench"), Threshold: alloc.DefaultShardThreshold}
+		r := rng.New(1)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := alloc.NewCostModelSharded(snap, req.Weights, req.UseForecast, opts)
+			if _, err := (alloc.NetLoadAware{}).AllocateModel(m, req, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAllocate4096Nodes measures the sharded allocator at fleet
+// scale (64 shards × 64 nodes), model construction included. The dense
+// path is omitted: its 4096² matrix alone is ~134 MB and one allocation
+// takes seconds — the wall this PR removes.
+func BenchmarkAllocate4096Nodes(b *testing.B) {
+	snap, groups := shardedBenchSnapshot(64, 64, 42)
+	req, err := alloc.Request{Procs: 256, PPN: 2, Alpha: 0.3, Beta: 0.7}.Validate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := alloc.ShardOptions{Plan: alloc.NewShardPlan(groups, "bench"), Threshold: alloc.DefaultShardThreshold}
+	r := rng.New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := alloc.NewCostModelSharded(snap, req.Weights, req.UseForecast, opts)
+		if _, err := (alloc.NetLoadAware{}).AllocateModel(m, req, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkBrokerRepeatAllocate measures back-to-back broker requests
 // against an unchanged monitoring view — the case the broker's
 // fingerprint-keyed cost-model cache exists for. Virtual time is frozen

@@ -124,8 +124,12 @@ func main() {
 			if cand.Chosen {
 				mark = "*"
 			}
-			fmt.Fprintf(os.Stderr, "%s candidate start=%d total=%.6f nodes=%v\n",
-				mark, cand.Start, cand.TotalLoad, cand.Nodes)
+			spill := ""
+			if cand.Spill {
+				spill = " spill"
+			}
+			fmt.Fprintf(os.Stderr, "%s candidate start=%d total=%.6f%s nodes=%v\n",
+				mark, cand.Start, cand.TotalLoad, spill, cand.Nodes)
 		}
 	}
 }

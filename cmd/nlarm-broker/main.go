@@ -37,6 +37,9 @@ func main() {
 		backfill = flag.Bool("backfill", true, "EASY-backfill walltimed jobs around a blocked queue head")
 		agingSec = flag.Duration("aging-bound", 30*time.Minute, "stop backfilling once any queued job has waited this long")
 		dumpMet  = flag.Bool("dump-metrics", false, "render the instrumentation registry to stdout on shutdown")
+		shardThr = flag.Int("shard-threshold", alloc.DefaultShardThreshold, "node count at and above which the hierarchical (sharded) cost model kicks in; <= 0 disables sharding")
+		shardSz  = flag.Int("shard-size", alloc.DefaultMaxShardSize, "maximum nodes per shard (switch shards larger than this are split)")
+		shardK   = flag.Int("shard-topk", alloc.DefaultShardTopK, "number of top-ranked shards the two-level Algorithm 1 searches densely")
 	)
 	flag.Parse()
 
@@ -79,7 +82,19 @@ func main() {
 	}
 	defer mgr.Stop()
 
-	b := broker.New(vst, rt, broker.Config{Seed: *seed, Obs: reg})
+	// The sharded cost model is planned along the cluster's switch tree;
+	// below the threshold it is the exhaustive dense path bit for bit, so
+	// enabling it here is free at paper scale and saves the O(n²) wall at
+	// fleet scale.
+	shard := alloc.ShardOptions{
+		Threshold:    *shardThr,
+		MaxShardSize: *shardSz,
+		TopK:         *shardK,
+	}
+	if *shardThr > 0 {
+		shard.Plan = alloc.NewShardPlan(cl.Topo.Shards(*shardSz), "topology")
+	}
+	b := broker.New(vst, rt, broker.Config{Seed: *seed, Obs: reg, Shard: shard})
 	// The reserving wrapper closes the monitoring lag for back-to-back
 	// queue launches and shadow-prices the waiting head's claim while the
 	// backfill pass evaluates candidates.

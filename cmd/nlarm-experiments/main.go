@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"nlarm/internal/harness"
@@ -25,12 +27,39 @@ import (
 
 func main() {
 	var (
-		run   = flag.String("run", "all", "artifact to regenerate (all, fig1, fig2, fig4, fig5, table2, fig6, table3, table4, fig7, cov, ablation, multicluster, predict, cosched, backfill)")
-		seed  = flag.Uint64("seed", 42, "simulation seed")
-		quick = flag.Bool("quick", false, "reduced problem sizes and repeats")
-		csv   = flag.String("csv", "", "directory to also write CSV tables into")
+		run     = flag.String("run", "all", "artifact to regenerate (all, fig1, fig2, fig4, fig5, table2, fig6, table3, table4, fig7, cov, ablation, multicluster, predict, cosched, backfill)")
+		seed    = flag.Uint64("seed", 42, "simulation seed")
+		quick   = flag.Bool("quick", false, "reduced problem sizes and repeats")
+		csv     = flag.String("csv", "", "directory to also write CSV tables into")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file (pprof evidence for perf PRs)")
+		memProf = flag.String("memprofile", "", "write an allocation heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	want := func(name string) bool { return *run == "all" || *run == name }
 	start := time.Now()

@@ -61,6 +61,13 @@ type CostModel struct {
 	// and re-normalize without touching the snapshot's other n-k nodes.
 	attrRows [][]float64
 
+	// shardOpts and shard carry the optional hierarchical network-load
+	// layer (see NewCostModelSharded). A nil shard means the dense n×n
+	// matrices above are authoritative; a non-nil shard means NL/NLUnit
+	// are nil and network load is priced per shard.
+	shardOpts ShardOptions
+	shard     *shardModel
+
 	clErr error
 	nlErr error
 }
@@ -156,13 +163,14 @@ func (m *CostModel) matches(req Request) bool {
 }
 
 // modelFor returns m when it matches the validated request, otherwise
-// rebuilds from the model's snapshot (callers hand the broker's cached
-// model straight through; a mismatch means the cache key was wrong).
+// rebuilds from the model's snapshot with m's sharding options preserved
+// (callers hand the broker's cached model straight through; a mismatch
+// means the cache key was wrong).
 func modelFor(m *CostModel, req Request) *CostModel {
 	if m.matches(req) {
 		return m
 	}
-	return NewCostModel(m.Snap, req.Weights, req.UseForecast)
+	return m.NewLike(m.Snap, req.Weights, req.UseForecast)
 }
 
 // sawAttrs is the fixed Equation 1 attribute schema under weights w.
@@ -278,6 +286,10 @@ func (m *CostModel) UpdateNodes(snap *metrics.Snapshot, changed []int) (*CostMod
 		Cores:    append([]int(nil), m.Cores...),
 		LoadM1:   append([]float64(nil), m.LoadM1...),
 		attrRows: append([][]float64(nil), m.attrRows...),
+		// The hierarchical NL layer derives only from the (unchanged)
+		// pairwise matrices and the node set, so it is shared like NL.
+		shardOpts: m.shardOpts,
+		shard:     m.shard,
 	}
 	for _, id := range changed {
 		i, ok := m.idx[id]

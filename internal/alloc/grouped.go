@@ -74,6 +74,16 @@ func (p GroupedNetLoadAware) AllocateModel(m *CostModel, req Request, r *rng.Ran
 	if err := m.NLErr(); err != nil {
 		return Allocation{}, err
 	}
+	if m.Sharded() {
+		// The grouped heuristic defines its own aggregation over the dense
+		// n×n matrix; a hierarchical model carries no NLUnit, so rebuild
+		// densely (this policy is the paper's §3.3.2 sketch, kept for
+		// comparison — the sharded allocator is its production successor).
+		m = NewCostModel(m.Snap, req.Weights, req.UseForecast)
+		if err := m.NLErr(); err != nil {
+			return Allocation{}, err
+		}
+	}
 	caps := m.caps(req)
 
 	// Partition into groups (members are dense indices; index order is

@@ -35,6 +35,10 @@ type Candidate struct {
 	NetworkCost float64
 	// TotalLoad is T_G after cross-candidate normalization.
 	TotalLoad float64
+	// Spill marks a hierarchically generated candidate that could not be
+	// satisfied inside its seed shard and crossed shard boundaries
+	// (always false on the exhaustive dense path).
+	Spill bool `json:",omitempty"`
 }
 
 // Allocate implements Policy.
@@ -99,6 +103,9 @@ func (p NetLoadAware) AllocateExplainModel(m *CostModel, req Request) (Candidate
 	if err := m.NLErr(); err != nil {
 		return Candidate{}, nil, err
 	}
+	if m.Sharded() {
+		return p.allocateSharded(m, req)
+	}
 	caps := m.caps(req)
 
 	// Algorithm 1, once per start node: |V| candidates. Each worker slot
@@ -109,12 +116,29 @@ func (p NetLoadAware) AllocateExplainModel(m *CostModel, req Request) (Candidate
 		candidates[v] = p.generate(m, v, caps, req, &scratch[w])
 	})
 
-	// Algorithm 2: normalize C_G and N_G across candidates, pick min T_G.
+	bestIdx, err := scoreCandidates(candidates, req)
+	if err != nil {
+		return Candidate{}, nil, err
+	}
+	return candidates[bestIdx], candidates, nil
+}
+
+// scoreCandidates is Algorithm 2: normalize C_G and N_G across the
+// generated candidates and return the index of the minimum-T_G one.
+func scoreCandidates(candidates []Candidate, req Request) (int, error) {
 	sumC, sumN := 0.0, 0.0
 	for i := range candidates {
 		sumC += candidates[i].ComputeCost
 		sumN += candidates[i].NetworkCost
 	}
+	return scoreCandidatesNormed(candidates, req, sumC, sumN)
+}
+
+// scoreCandidatesNormed is Algorithm 2 with caller-supplied normalization
+// sums: the sharded path passes scout-estimated totals over all n starts
+// so its biased (uniformly good) candidate subset is scored on the same
+// scale the dense path would use.
+func scoreCandidatesNormed(candidates []Candidate, req Request, sumC, sumN float64) (int, error) {
 	bestIdx := -1
 	minTotal := math.Inf(1)
 	for i := range candidates {
@@ -133,9 +157,9 @@ func (p NetLoadAware) AllocateExplainModel(m *CostModel, req Request) (Candidate
 		}
 	}
 	if bestIdx < 0 {
-		return Candidate{}, nil, fmt.Errorf("alloc: net-load-aware: no candidate produced")
+		return 0, fmt.Errorf("alloc: net-load-aware: no candidate produced")
 	}
-	return candidates[bestIdx], candidates, nil
+	return bestIdx, nil
 }
 
 // genScratch is one worker's reusable buffers for generate: the

@@ -93,7 +93,7 @@ func (p *ReservingPolicy) AllocateModel(m *CostModel, req Request, r *rng.Rand) 
 		if verr != nil {
 			return Allocation{}, verr
 		}
-		a, err = inner.AllocateModel(NewCostModel(charged, vreq.Weights, vreq.UseForecast), req, r)
+		a, err = inner.AllocateModel(m.NewLike(charged, vreq.Weights, vreq.UseForecast), req, r)
 	}
 	if err != nil {
 		return Allocation{}, err

@@ -69,6 +69,9 @@ type CandidateInfo struct {
 	Nodes     []int   `json:"nodes"`
 	TotalLoad float64 `json:"total_load"`
 	Chosen    bool    `json:"chosen"`
+	// Spill marks a candidate from the hierarchical allocator that could
+	// not be satisfied inside its seed shard and crossed shard boundaries.
+	Spill bool `json:"spill,omitempty"`
 }
 
 // Response is the broker's answer.
@@ -122,6 +125,13 @@ type Config struct {
 	Obs *obs.Registry
 	// DecisionLog bounds the allocation decision ring. Default 256.
 	DecisionLog int
+	// Shard configures the hierarchical cost model (topology-sharded
+	// network-load layer). The zero value leaves sharding off (the dense
+	// exhaustive path at every size); set Shard.Threshold (e.g.
+	// alloc.DefaultShardThreshold) to enable it, and Shard.Plan (from
+	// topology.Shards) for topology-aligned shards instead of hash
+	// buckets. See alloc.ShardOptions.
+	Shard alloc.ShardOptions
 }
 
 func (c Config) withDefaults() Config {
@@ -197,11 +207,13 @@ type Broker struct {
 
 // modelKey identifies one cached cost model: the snapshot's content
 // fingerprint plus the pricing inputs (attribute weights, forecast
-// flag) the model was built with.
+// flag) and the sharding configuration signature the model was built
+// with — a re-planned shard layout must not serve a stale hierarchy.
 type modelKey struct {
 	fp       uint64
 	weights  alloc.Weights
 	forecast bool
+	shard    uint64
 }
 
 // refreshCall is one in-flight snapshot-cache refresh; concurrent
@@ -386,7 +398,8 @@ func (b *Broker) DegradedServed() uint64 {
 // predecessor fingerprint, the retired model is updated in place via
 // CostModel.UpdateNodes instead of being rebuilt from scratch.
 func (b *Broker) costModel(sv snapView, w alloc.Weights, forecast bool) (*alloc.CostModel, bool) {
-	key := modelKey{fp: sv.fp, weights: w, forecast: forecast}
+	shardSig := b.cfg.Shard.Signature()
+	key := modelKey{fp: sv.fp, weights: w, forecast: forecast, shard: shardSig}
 	b.modelMu.Lock()
 	defer b.modelMu.Unlock()
 	if sv.fp != b.modelFP {
@@ -401,7 +414,7 @@ func (b *Broker) costModel(sv snapView, w alloc.Weights, forecast bool) (*alloc.
 	}
 	var m *alloc.CostModel
 	if sv.incremental && sv.prevFP != 0 && sv.prevFP == b.prevFP {
-		if pm, ok := b.prevModels[modelKey{fp: sv.prevFP, weights: w, forecast: forecast}]; ok {
+		if pm, ok := b.prevModels[modelKey{fp: sv.prevFP, weights: w, forecast: forecast, shard: shardSig}]; ok {
 			if um, ok := pm.UpdateNodes(sv.snap, sv.changed); ok {
 				m = um
 				b.obs.Counter("broker.model.update.incremental").Inc()
@@ -409,8 +422,11 @@ func (b *Broker) costModel(sv snapView, w alloc.Weights, forecast bool) (*alloc.
 		}
 	}
 	if m == nil {
-		m = alloc.NewCostModel(sv.snap, w, forecast)
+		m = alloc.NewCostModelSharded(sv.snap, w, forecast, b.cfg.Shard)
 		b.obs.Counter("broker.model.update.full").Inc()
+	}
+	if m.Sharded() {
+		b.obs.Counter("broker.model.sharded").Inc()
 	}
 	b.models[key] = m
 	b.cacheMisses++
@@ -580,6 +596,7 @@ func (b *Broker) allocate(req Request) (Response, *alloc.CostModel, bool, error)
 				Nodes:     c.Nodes,
 				TotalLoad: c.TotalLoad,
 				Chosen:    c.Start == best.Start,
+				Spill:     c.Spill,
 			})
 		}
 	} else if mp, ok := pol.(alloc.ModelPolicy); ok {
@@ -591,6 +608,12 @@ func (b *Broker) allocate(req Request) (Response, *alloc.CostModel, bool, error)
 		a, err = pol.Allocate(snap, allocReq, r)
 		if err != nil {
 			return resp, model, cacheHit, err
+		}
+	}
+	if model != nil && model.Sharded() {
+		b.obs.Counter("broker.alloc.sharded").Inc()
+		if spills := model.TakeShardSpills(); spills > 0 {
+			b.obs.Counter("broker.alloc.shard.spills").Add(spills)
 		}
 	}
 	resp.Recommendation = RecommendAllocate

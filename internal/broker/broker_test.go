@@ -12,6 +12,7 @@ import (
 	"nlarm/internal/loadgen"
 	"nlarm/internal/metrics"
 	"nlarm/internal/monitor"
+	"nlarm/internal/obs"
 	"nlarm/internal/rng"
 	"nlarm/internal/simtime"
 	"nlarm/internal/store"
@@ -475,5 +476,51 @@ func TestServerRejectsGarbageLine(t *testing.T) {
 func TestDialFailure(t *testing.T) {
 	if _, err := Dial("127.0.0.1:1", 200*time.Millisecond); err == nil {
 		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+// TestAllocateShardedWiring drives a broker configured with a shard
+// threshold below the cluster size end to end: the model builds sharded
+// (counter ticks), allocations still cover the request, and repeated
+// requests with identical weights hit the same cached sharded model.
+func TestAllocateShardedWiring(t *testing.T) {
+	r := newRig(t, 5, loadgen.Config{})
+	cl, err := cluster.BuildUniform(2, 4, 8, 3.0, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	shard := alloc.ShardOptions{
+		Plan:         alloc.NewShardPlan(cl.Topo.Shards(4), "topology"),
+		Threshold:    4,
+		MaxShardSize: 4,
+		TopK:         1,
+	}
+	b := New(r.st, r.sched, Config{Seed: 5, Obs: reg, Shard: shard})
+	resp, err := b.Allocate(Request{Procs: 8, PPN: 4, Alpha: 0.5, Beta: 0.5, Explain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Recommendation != RecommendAllocate {
+		t.Fatalf("recommendation %v", resp.Recommendation)
+	}
+	if resp.Allocation.TotalProcs() != 8 {
+		t.Fatalf("allocation procs %d", resp.Allocation.TotalProcs())
+	}
+	if len(resp.Candidates) == 0 {
+		t.Fatal("explain returned no candidates")
+	}
+	if got := reg.Counter("broker.model.sharded").Value(); got == 0 {
+		t.Fatal("broker.model.sharded counter never ticked")
+	}
+	if got := reg.Counter("broker.alloc.sharded").Value(); got == 0 {
+		t.Fatal("broker.alloc.sharded counter never ticked")
+	}
+	built := reg.Counter("broker.model.sharded").Value()
+	if _, err := b.Allocate(Request{Procs: 8, PPN: 4, Alpha: 0.5, Beta: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("broker.model.sharded").Value(); got != built {
+		t.Fatalf("second allocate rebuilt the sharded model: %d -> %d builds", built, got)
 	}
 }

@@ -99,6 +99,9 @@ type Network struct {
 	cfg   Config
 	topo  *topology.Topology
 	links map[topology.LinkID]*linkState
+	// gateway is a node attached to switch 0 used to route external
+	// flows, cached once (-1 when switch 0 has no nodes).
+	gateway int
 }
 
 // New builds the network over topo, seeded for deterministic jitter.
@@ -106,7 +109,10 @@ type Network struct {
 // model is reproducible regardless of map iteration order.
 func New(topo *topology.Topology, cfg Config, seed uint64) *Network {
 	cfg = cfg.withDefaults()
-	n := &Network{cfg: cfg, topo: topo, links: make(map[topology.LinkID]*linkState)}
+	n := &Network{cfg: cfg, topo: topo, links: make(map[topology.LinkID]*linkState), gateway: -1}
+	if at0 := topo.NodesAt(0); len(at0) > 0 {
+		n.gateway = at0[0]
+	}
 	for _, l := range topo.Links() {
 		h := fnv.New64a()
 		_, _ = h.Write([]byte(l.String()))
@@ -131,11 +137,10 @@ func (n *Network) externalPath(src int) []topology.LinkID {
 	}
 	// Walk the tree path from s to 0 by reusing a node attached to switch 0
 	// if one exists; otherwise only the edge link is charged.
-	at0 := n.topo.NodesAt(0)
-	if len(at0) == 0 {
+	if n.gateway < 0 {
 		return links
 	}
-	full := n.topo.Path(src, at0[0])
+	full := n.topo.Path(src, n.gateway)
 	// Drop the destination's edge link: the gateway is the switch itself.
 	return full[:len(full)-1]
 }

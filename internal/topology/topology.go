@@ -11,6 +11,7 @@ package topology
 
 import (
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -88,6 +89,11 @@ type Topology struct {
 	switchPath [][][]int
 	capacity   map[LinkID]float64
 	extraLat   map[LinkID]time.Duration
+	// pathCache memoizes Path's link slices keyed by the (u,v) node pair,
+	// so repeated routing queries (the netmodel prices every flow every
+	// step) stop allocating. Entries are built lazily and shared — Path's
+	// callers must treat the returned slice as read-only.
+	pathCache sync.Map
 }
 
 // New validates cfg and builds the topology, precomputing switch-to-switch
@@ -199,9 +205,39 @@ func (t *Topology) NumSwitches() int { return len(t.nodesAt) }
 // SwitchOf returns the switch a node is attached to.
 func (t *Topology) SwitchOf(node int) int { return t.switchOf[node] }
 
-// NodesAt returns the nodes attached to switch s (shared slice; do not
-// modify).
-func (t *Topology) NodesAt(s int) []int { return t.nodesAt[s] }
+// NodesAt returns the nodes attached to switch s. The slice is a copy;
+// callers may keep or modify it freely without corrupting the tree.
+func (t *Topology) NodesAt(s int) []int {
+	return append([]int(nil), t.nodesAt[s]...)
+}
+
+// Shards partitions the nodes into topology-aligned groups: one group
+// per switch in switch order, each split into consecutive chunks of at
+// most maxSize nodes (maxSize <= 0 leaves switches whole). Empty
+// switches produce no group. This is the default shard plan for the
+// hierarchical allocator — nodes behind one switch share a boundary and
+// belong in one dense sub-model.
+func (t *Topology) Shards(maxSize int) [][]int {
+	var out [][]int
+	for s := range t.nodesAt {
+		members := t.nodesAt[s]
+		if len(members) == 0 {
+			continue
+		}
+		if maxSize <= 0 || len(members) <= maxSize {
+			out = append(out, append([]int(nil), members...))
+			continue
+		}
+		for lo := 0; lo < len(members); lo += maxSize {
+			hi := lo + maxSize
+			if hi > len(members) {
+				hi = len(members)
+			}
+			out = append(out, append([]int(nil), members[lo:hi]...))
+		}
+	}
+	return out
+}
 
 // Hops returns the number of switches on the path between nodes u and v:
 // 1 when they share a switch, up to the tree diameter otherwise. Hops from
@@ -215,10 +251,15 @@ func (t *Topology) Hops(u, v int) int {
 
 // Path returns the ordered links a message from u to v traverses:
 // u's edge link, the trunk links between switches, and v's edge link.
-// For u == v it returns nil (loopback).
+// For u == v it returns nil (loopback). The slice is memoized and
+// shared across calls — treat it as read-only.
 func (t *Topology) Path(u, v int) []LinkID {
 	if u == v {
 		return nil
+	}
+	key := uint64(uint32(u))<<32 | uint64(uint32(v))
+	if p, ok := t.pathCache.Load(key); ok {
+		return p.([]LinkID)
 	}
 	su, sv := t.switchOf[u], t.switchOf[v]
 	sw := t.switchPath[su][sv]
@@ -228,7 +269,8 @@ func (t *Topology) Path(u, v int) []LinkID {
 		links = append(links, TrunkLink(sw[i], sw[i+1]))
 	}
 	links = append(links, EdgeLink(v, sv))
-	return links
+	p, _ := t.pathCache.LoadOrStore(key, links)
+	return p.([]LinkID)
 }
 
 // Capacity returns the capacity in bytes/sec of the given link, or 0 if

@@ -199,6 +199,99 @@ func cloneConfig(c Config) Config {
 	return c
 }
 
+func TestNodesAtReturnsCopy(t *testing.T) {
+	topo := mustIITK(t)
+	got := topo.NodesAt(0)
+	want := append([]int(nil), got...)
+	got[0] = -999
+	got[5] = -999
+	after := topo.NodesAt(0)
+	for i := range after {
+		if after[i] != want[i] {
+			t.Fatalf("mutating NodesAt result corrupted the tree: %v", after)
+		}
+	}
+	if topo.SwitchOf(0) != 0 {
+		t.Fatal("switch assignment corrupted")
+	}
+}
+
+func TestPathMemoized(t *testing.T) {
+	topo := mustIITK(t)
+	p1 := topo.Path(0, 59)
+	p2 := topo.Path(0, 59)
+	if &p1[0] != &p2[0] {
+		t.Fatal("Path(0,59) not memoized: distinct backing arrays")
+	}
+	// The memoized slice must still be the correct route.
+	if p1[0] != EdgeLink(0, 0) || p1[len(p1)-1] != EdgeLink(59, 3) {
+		t.Fatalf("memoized path wrong: %v", p1)
+	}
+	// Direction matters: (v,u) is its own entry with reversed endpoints.
+	rev := topo.Path(59, 0)
+	if rev[0] != EdgeLink(59, 3) || rev[len(rev)-1] != EdgeLink(0, 0) {
+		t.Fatalf("reverse path wrong: %v", rev)
+	}
+	allocs := testing.AllocsPerRun(100, func() { topo.Path(0, 59) })
+	if allocs != 0 {
+		t.Fatalf("memoized Path allocates %g per call", allocs)
+	}
+}
+
+func TestShards(t *testing.T) {
+	topo := mustIITK(t)
+	// Uncapped: one shard per switch.
+	shards := topo.Shards(0)
+	if len(shards) != 4 {
+		t.Fatalf("uncapped shard count = %d, want 4", len(shards))
+	}
+	seen := make(map[int]bool)
+	for s, members := range shards {
+		if len(members) != 15 {
+			t.Fatalf("shard %d size = %d, want 15", s, len(members))
+		}
+		for _, n := range members {
+			if topo.SwitchOf(n) != s {
+				t.Fatalf("node %d in shard %d but on switch %d", n, s, topo.SwitchOf(n))
+			}
+			if seen[n] {
+				t.Fatalf("node %d in two shards", n)
+			}
+			seen[n] = true
+		}
+	}
+	if len(seen) != topo.NumNodes() {
+		t.Fatalf("shards cover %d of %d nodes", len(seen), topo.NumNodes())
+	}
+	// Capped at 6: each 15-node switch splits 6+6+3.
+	capped := topo.Shards(6)
+	if len(capped) != 12 {
+		t.Fatalf("capped shard count = %d, want 12", len(capped))
+	}
+	for i, want := range []int{6, 6, 3} {
+		if got := len(capped[i]); got != want {
+			t.Fatalf("capped shard %d size = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestShardsSkipsEmptySwitches(t *testing.T) {
+	cfg := Config{
+		NodesPerSwitch:   []int{0, 4, 4, 4},
+		SwitchLinks:      [][2]int{{0, 1}, {0, 2}, {0, 3}},
+		EdgeCapacityBps:  GigabitBps,
+		TrunkCapacityBps: GigabitBps,
+		PerHopLatency:    50 * time.Microsecond,
+	}
+	topo, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(topo.Shards(0)); got != 3 {
+		t.Fatalf("shard count = %d, want 3 (core switch is empty)", got)
+	}
+}
+
 func TestCapacityUnknownLink(t *testing.T) {
 	topo := mustIITK(t)
 	if c := topo.Capacity(EdgeLink(99, 99)); c != 0 {
