@@ -15,6 +15,7 @@ import (
 	"nlarm/internal/metrics"
 	"nlarm/internal/monitor"
 	"nlarm/internal/rng"
+	"nlarm/internal/sim"
 	"nlarm/internal/stats"
 )
 
@@ -503,5 +504,26 @@ func BenchmarkSimulatedDayOfMonitoring(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sim.Advance(time.Hour)
+	}
+}
+
+// BenchmarkSimMillionJobs is the capacity-simulator acceptance gate: one
+// iteration pushes one million generated jobs through the EASY-backfill
+// event loop on a 1024-node cluster — weeks of virtual traffic that must
+// finish in well under a minute of wall time with a stable trace digest.
+func BenchmarkSimMillionJobs(b *testing.B) {
+	cfg := sim.MillionJobConfig(4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunScenario(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Completed+res.Rejected != res.Jobs {
+			b.Fatalf("lost jobs: %d completed + %d rejected of %d", res.Completed, res.Rejected, res.Jobs)
+		}
+		b.ReportMetric(res.MeanWaitSec, "meanwait-s")
+		b.ReportMetric(float64(res.Completed)/res.WallTime.Seconds(), "jobs/s")
 	}
 }

@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -22,17 +23,25 @@ import (
 	"time"
 
 	"nlarm/internal/harness"
+	"nlarm/internal/loadgen"
+	"nlarm/internal/sim"
 	"nlarm/internal/trace"
 )
 
 func main() {
 	var (
-		run     = flag.String("run", "all", "artifact to regenerate (all, fig1, fig2, fig4, fig5, table2, fig6, table3, table4, fig7, cov, ablation, multicluster, predict, cosched, backfill)")
+		run     = flag.String("run", "all", "artifact to regenerate (all, fig1, fig2, fig4, fig5, table2, fig6, table3, table4, fig7, cov, ablation, multicluster, predict, cosched, backfill, sim)")
 		seed    = flag.Uint64("seed", 42, "simulation seed")
 		quick   = flag.Bool("quick", false, "reduced problem sizes and repeats")
 		csv     = flag.String("csv", "", "directory to also write CSV tables into")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file (pprof evidence for perf PRs)")
 		memProf = flag.String("memprofile", "", "write an allocation heap profile to this file on exit")
+
+		simJobs  = flag.Int("sim-jobs", 100000, "sim: total jobs to generate")
+		simNodes = flag.Int("sim-nodes", 1024, "sim: cluster size in nodes")
+		simUtil  = flag.Float64("sim-util", 0.65, "sim: target offered load (0-1) for the canned workload")
+		simSpec  = flag.String("sim-spec", "", "sim: JSON workload spec file (overrides -sim-jobs/-sim-util sizing)")
+		simTrace = flag.String("sim-trace", "", "sim: write the job trace (replayable with nlarm-replay -trace) to this file")
 	)
 	flag.Parse()
 
@@ -221,7 +230,60 @@ func main() {
 		fmt.Println(harness.FormatAblation(d))
 	}
 
+	if want("sim") {
+		if err := runSim(*seed, *simJobs, *simNodes, *simUtil, *simSpec, *simTrace, *quick); err != nil {
+			fatal(err)
+		}
+	}
+
 	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// runSim executes the capacity-fidelity scenario under both queue
+// disciplines and prints a comparison; the EASY run's trace optionally
+// goes to tracePath for offline replay.
+func runSim(seed uint64, jobs, nodes int, util float64, specPath, tracePath string, quick bool) error {
+	if quick {
+		jobs, nodes = 10000, 256
+	}
+	var wl loadgen.Workload
+	if specPath != "" {
+		data, err := os.ReadFile(specPath)
+		if err != nil {
+			return err
+		}
+		if wl, err = loadgen.ParseWorkload(data); err != nil {
+			return err
+		}
+	} else {
+		wl = sim.ScaledWorkload(jobs, nodes, util)
+	}
+	for _, disc := range []sim.Discipline{sim.FIFO, sim.EASY} {
+		cfg := sim.ScenarioConfig{
+			Seed:       seed,
+			Nodes:      nodes,
+			Workload:   wl,
+			Discipline: disc,
+		}
+		var out io.Writer
+		if tracePath != "" && disc == sim.EASY {
+			f, err := os.Create(tracePath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+		}
+		res, err := sim.RunScenario(cfg, out)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("[%s]\n%s\n", disc, res.Render())
+	}
+	if tracePath != "" {
+		fmt.Printf("EASY trace written to %s (verify with: nlarm-replay -trace %s)\n", tracePath, tracePath)
+	}
+	return nil
 }
 
 // scalingTable flattens scaling data into one CSV-able table.

@@ -2,9 +2,16 @@
 // snapshots (written by nlarm-monitor -archive) and re-runs allocation
 // decisions offline: list the archive, dump a snapshot summary, or ask
 // "what would policy X have chosen at time T?".
+//
+// With -trace it instead verifies a recorded job trace (written by
+// nlarm-experiments -run sim -sim-trace): the scenario embedded in the
+// trace header is re-run from its seed and every scheduling decision is
+// diffed against the recorded one.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -14,7 +21,9 @@ import (
 	"nlarm/internal/metrics"
 	"nlarm/internal/replay"
 	"nlarm/internal/rng"
+	"nlarm/internal/sim"
 	"nlarm/internal/store"
+	"nlarm/internal/trace"
 )
 
 func main() {
@@ -28,8 +37,16 @@ func main() {
 		alpha    = flag.Float64("alpha", 0.3, "compute-load weight")
 		beta     = flag.Float64("beta", 0.7, "network-load weight")
 		seed     = flag.Uint64("seed", 1, "random stream for stochastic policies")
+		tracePth = flag.String("trace", "", "verify a recorded job trace instead of reading a store")
 	)
 	flag.Parse()
+
+	if *tracePth != "" {
+		if err := verifyJobTrace(*tracePth); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	st, err := store.NewFile(*storeDir)
 	if err != nil {
@@ -79,6 +96,52 @@ func main() {
 			fmt.Printf("  %s:%d\n", snap.Nodes[n].Hostname, a.Procs[n])
 		}
 	}
+}
+
+// verifyJobTrace re-runs the scenario embedded in the trace header and
+// diffs every recorded decision against the re-run.
+func verifyJobTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	hdr, recs, digest, err := trace.ReadJobTrace(f)
+	if err != nil {
+		return err
+	}
+	if len(hdr.Scenario) == 0 {
+		return fmt.Errorf("%s: trace header has no embedded scenario, cannot replay", path)
+	}
+	var cfg sim.ScenarioConfig
+	if err := json.Unmarshal(hdr.Scenario, &cfg); err != nil {
+		return fmt.Errorf("%s: parse embedded scenario: %w", path, err)
+	}
+	fmt.Printf("trace %s: %d records, seed %d, digest %s\n", path, len(recs), hdr.Seed, digest[:16])
+
+	var rerun bytes.Buffer
+	res, err := sim.RunScenario(cfg, &rerun)
+	if err != nil {
+		return fmt.Errorf("re-run: %w", err)
+	}
+	if res.Digest == digest {
+		fmt.Printf("replay OK: re-run reproduced all %d decisions bit-for-bit in %v\n",
+			len(recs), res.WallTime.Round(time.Millisecond))
+		return nil
+	}
+	_, rerunRecs, _, err := trace.ReadJobTrace(&rerun)
+	if err != nil {
+		return fmt.Errorf("parse re-run trace: %w", err)
+	}
+	diffs := trace.DiffJobRecords(recs, rerunRecs, 10)
+	if len(diffs) == 0 {
+		diffs = []string{"records equal but raw bytes differ (header or encoding change)"}
+	}
+	for _, d := range diffs {
+		fmt.Println("  " + d)
+	}
+	return fmt.Errorf("replay DIVERGED: recorded digest %s, re-run %s (%d shown above)",
+		digest[:16], res.Digest[:16], len(diffs))
 }
 
 func policyByName(name string) (alloc.Policy, error) {

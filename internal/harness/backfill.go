@@ -26,6 +26,9 @@ type BackfillConfig struct {
 	// AgingBound caps how long backfill may overtake a queued job
 	// (default: the queue's default, 30m).
 	AgingBound time.Duration
+	// Driver selects how the experiment advances virtual time (default
+	// SteppedDriver); every driver must yield identical per-job starts.
+	Driver Driver
 }
 
 // BackfillModeResult summarizes one queue discipline.
@@ -42,6 +45,10 @@ type BackfillModeResult struct {
 	// Failed counts jobs that never ran (starvation or errors) — must be
 	// zero in both modes.
 	Failed int `json:"failed"`
+	// StartsSec holds each job's start offset from first submit in
+	// submission order (-1 for failed jobs) — the per-decision handle the
+	// cross-clock equivalence tests compare; omitted from reports.
+	StartsSec []float64 `json:"-"`
 }
 
 // BackfillResult holds both modes, FIFO first.
@@ -103,6 +110,7 @@ func runBackfillMode(cfg BackfillConfig, backfill bool) (*BackfillModeResult, er
 		Seed:    cfg.Seed,
 		Cluster: cl,
 		Broker:  broker.Config{Seed: cfg.Seed + 7, WaitLoadPerCore: 0.4},
+		Driver:  cfg.Driver,
 	})
 	if err != nil {
 		return nil, err
@@ -165,11 +173,10 @@ func runBackfillMode(cfg BackfillConfig, backfill bool) (*BackfillModeResult, er
 	}
 
 	deadline := s.Now().Add(2 * time.Hour)
-	for q.Stats().Done+q.Stats().Failed < len(jobs) {
-		if s.Now().After(deadline) {
-			return nil, fmt.Errorf("harness: backfill experiment (backfill=%v) stalled: %+v", backfill, q.Stats())
-		}
-		s.Advance(10 * time.Second)
+	if err := s.Await(deadline, func() bool {
+		return q.Stats().Done+q.Stats().Failed >= len(jobs)
+	}); err != nil {
+		return nil, fmt.Errorf("harness: backfill experiment (backfill=%v) stalled: %w (%+v)", backfill, err, q.Stats())
 	}
 
 	mode := &BackfillModeResult{Mode: "fifo"}
@@ -185,8 +192,10 @@ func runBackfillMode(cfg BackfillConfig, backfill bool) (*BackfillModeResult, er
 		}
 		if j.State != jobqueue.StateDone {
 			mode.Failed++
+			mode.StartsSec = append(mode.StartsSec, -1)
 			continue
 		}
+		mode.StartsSec = append(mode.StartsSec, j.Started.Sub(firstSubmit).Seconds())
 		w := j.Started.Sub(j.Submitted).Seconds()
 		waits = append(waits, w)
 		if w > mode.MaxWaitSec {

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"reflect"
 	"testing"
 )
 
@@ -55,7 +56,67 @@ func TestBackfillExperimentDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if *a != *b {
+	if !reflect.DeepEqual(*a, *b) {
 		t.Fatalf("experiment not deterministic:\n%+v\n%+v", *a, *b)
+	}
+}
+
+// TestBackfillCrossClockEquivalence runs the 200-job contention
+// scenario (hog + head + 198 shorts) under the stepped window driver
+// and the event driver and demands identical per-job start times in
+// both queue disciplines: every state change in the stack is a
+// scheduler event, so polling granularity must not move a single
+// launch.
+func TestBackfillCrossClockEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full queue experiment")
+	}
+	run := func(d Driver) *BackfillResult {
+		res, err := RunBackfill(BackfillConfig{Seed: 11, Shorts: 198, Driver: d})
+		if err != nil {
+			t.Fatalf("%s driver: %v", d.Name(), err)
+		}
+		return res
+	}
+	stepped := run(SteppedDriver{})
+	event := run(EventDriver{})
+	for mi := range stepped.Modes {
+		sm, em := stepped.Modes[mi], event.Modes[mi]
+		if len(sm.StartsSec) != 200 {
+			t.Fatalf("%s mode recorded %d starts, want 200", sm.Mode, len(sm.StartsSec))
+		}
+		for i := range sm.StartsSec {
+			if sm.StartsSec[i] != em.StartsSec[i] {
+				t.Fatalf("%s mode job %d: stepped start %.3fs, event start %.3fs",
+					sm.Mode, i, sm.StartsSec[i], em.StartsSec[i])
+			}
+		}
+		if sm.MeanWaitSec != em.MeanWaitSec || sm.MaxWaitSec != em.MaxWaitSec ||
+			sm.MakespanSec != em.MakespanSec || sm.Backfilled != em.Backfilled || sm.Failed != em.Failed {
+			t.Fatalf("%s mode aggregates differ across drivers:\nstepped %+v\nevent   %+v", sm.Mode, sm, em)
+		}
+	}
+}
+
+// TestBackfillEventClockReproducesPaperNumbers pins the default
+// experiment's documented mean waits (DESIGN.md section 11: 1350s FIFO,
+// 171s backfill) under the event driver: the discrete-event clock must
+// reproduce the stepped harness's results exactly, not approximately.
+func TestBackfillEventClockReproducesPaperNumbers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full queue experiment")
+	}
+	res, err := RunBackfill(BackfillConfig{Seed: 3, Driver: EventDriver{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Modes[0].MeanWaitSec != 1350.0 {
+		t.Errorf("fifo mean wait %.2fs under event clock, want 1350.00s", res.Modes[0].MeanWaitSec)
+	}
+	if res.Modes[1].MeanWaitSec != 171.0 {
+		t.Errorf("backfill mean wait %.2fs under event clock, want 171.00s", res.Modes[1].MeanWaitSec)
+	}
+	if res.Modes[0].Failed+res.Modes[1].Failed != 0 {
+		t.Errorf("event clock starved jobs: %+v", res.Modes)
 	}
 }

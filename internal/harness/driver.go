@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"nlarm/internal/simtime"
+)
+
+// Driver is the seam between an experiment and the virtual clock: how
+// time advances while the experiment waits for work to finish. All
+// state changes in the stack are scheduler events, so the choice of
+// driver affects only polling granularity — per-job outcomes (launch
+// and completion instants) must be identical across drivers, which the
+// cross-clock equivalence tests pin down.
+type Driver interface {
+	// Name labels the driver in reports and errors.
+	Name() string
+	// Run unconditionally advances virtual time by d.
+	Run(s *simtime.Scheduler, d time.Duration)
+	// Await advances virtual time until done() reports true, failing if
+	// the virtual clock passes deadline or the event queue drains first.
+	Await(s *simtime.Scheduler, deadline time.Time, done func() bool) error
+}
+
+// SteppedDriver advances the clock in fixed polling windows between
+// done() checks — the harness's historical behavior.
+type SteppedDriver struct {
+	// Window is the polling window (default 10s).
+	Window time.Duration
+}
+
+// Name implements Driver.
+func (d SteppedDriver) Name() string { return "stepped" }
+
+// Run implements Driver.
+func (d SteppedDriver) Run(s *simtime.Scheduler, dur time.Duration) { s.RunFor(dur) }
+
+// Await implements Driver.
+func (d SteppedDriver) Await(s *simtime.Scheduler, deadline time.Time, done func() bool) error {
+	w := d.Window
+	if w <= 0 {
+		w = 10 * time.Second
+	}
+	for !done() {
+		if s.Now().After(deadline) {
+			return fmt.Errorf("harness: %s driver passed deadline %v while waiting", d.Name(), deadline)
+		}
+		s.RunFor(w)
+	}
+	return nil
+}
+
+// EventDriver advances the clock one event at a time, checking done()
+// after every event — the discrete-event mode: no final partial window,
+// and a drained queue is an immediate error instead of a silent spin to
+// the deadline.
+type EventDriver struct{}
+
+// Name implements Driver.
+func (EventDriver) Name() string { return "event" }
+
+// Run implements Driver.
+func (EventDriver) Run(s *simtime.Scheduler, dur time.Duration) { s.RunFor(dur) }
+
+// Await implements Driver.
+func (EventDriver) Await(s *simtime.Scheduler, deadline time.Time, done func() bool) error {
+	for !done() {
+		if s.Now().After(deadline) {
+			return fmt.Errorf("harness: event driver passed deadline %v while waiting", deadline)
+		}
+		if !s.Step() {
+			return fmt.Errorf("harness: event driver drained the event queue before completion")
+		}
+	}
+	return nil
+}
+
+// defaultDriver returns d or the stepped default.
+func defaultDriver(d Driver) Driver {
+	if d == nil {
+		return SteppedDriver{}
+	}
+	return d
+}

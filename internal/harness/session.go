@@ -39,6 +39,10 @@ type SessionConfig struct {
 	// Start is the virtual start time; defaults to a fixed epoch so runs
 	// are reproducible.
 	Start time.Time
+	// Driver selects how the session advances virtual time (default
+	// SteppedDriver). Experiments wait for completions through it, so the
+	// same experiment can run window-polled or event-by-event.
+	Driver Driver
 }
 
 // Session is a fully wired simulated deployment: the world advances on a
@@ -55,6 +59,7 @@ type Session struct {
 	Mgr    *monitor.Manager
 	Broker *broker.Broker
 
+	driver    Driver
 	stopWorld simtime.CancelFunc
 }
 
@@ -101,6 +106,7 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 		VStore:    vst,
 		Mgr:       mgr,
 		Broker:    b,
+		driver:    defaultDriver(cfg.Driver),
 		stopWorld: stop,
 	}, nil
 }
@@ -119,7 +125,7 @@ func (s *Session) Close() {
 // least one bandwidth period (5 min) plus the 15-minute averaging window
 // when running means matter; DefaultWarmUp covers both.
 func (s *Session) WarmUp(d time.Duration) {
-	s.Sched.RunFor(d)
+	s.driver.Run(s.Sched, d)
 }
 
 // DefaultWarmUp is a warm-up long enough for full monitoring state
@@ -128,8 +134,18 @@ const DefaultWarmUp = 17 * time.Minute
 
 // Advance moves virtual time forward (between trials).
 func (s *Session) Advance(d time.Duration) {
-	s.Sched.RunFor(d)
+	s.driver.Run(s.Sched, d)
 }
+
+// Await advances virtual time through the session's driver until done()
+// reports true, erroring past deadline (or, under the event driver, when
+// the event queue drains first).
+func (s *Session) Await(deadline time.Time, done func() bool) error {
+	return s.driver.Await(s.Sched, deadline, done)
+}
+
+// Driver returns the session's time driver.
+func (s *Session) Driver() Driver { return s.driver }
 
 // Now returns the current virtual time.
 func (s *Session) Now() time.Time { return s.Sched.Now() }

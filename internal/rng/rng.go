@@ -167,6 +167,56 @@ func (r *Rand) Poisson(mean float64) int {
 	}
 }
 
+// Gamma returns a gamma variate with the given shape k and scale theta
+// (mean k*theta, CV 1/sqrt(k)) using Marsaglia and Tsang's squeeze
+// method, with the standard U^(1/k) boost for shape < 1. It panics if
+// shape <= 0 or scale <= 0.
+func (r *Rand) Gamma(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic("rng: Gamma with non-positive shape or scale")
+	}
+	boost := 1.0
+	if shape < 1 {
+		// Gamma(k) = Gamma(k+1) * U^(1/k); 1-Float64 is in (0,1].
+		boost = math.Pow(1-r.Float64(), 1/shape)
+		shape++
+	}
+	d := shape - 1.0/3
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.Norm()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := 1 - r.Float64() // (0,1]: Log below never sees zero
+		if u < 1-0.0331*x*x*x*x {
+			return boost * d * v * scale
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return boost * d * v * scale
+		}
+	}
+}
+
+// Weibull returns a Weibull variate with the given shape k and scale
+// lambda (mean lambda*Gamma(1+1/k)) by inverse-transform sampling. It
+// panics if shape <= 0 or scale <= 0.
+func (r *Rand) Weibull(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic("rng: Weibull with non-positive shape or scale")
+	}
+	// 1-Float64() is in (0,1], so Log never sees zero.
+	return scale * math.Pow(-math.Log(1-r.Float64()), 1/shape)
+}
+
+// LogNormal returns exp(N(mu, sigma)): a log-normal variate with log-mean
+// mu and log-stddev sigma.
+func (r *Rand) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.NormMS(mu, sigma))
+}
+
 // Bool returns true with probability p.
 func (r *Rand) Bool(p float64) bool {
 	return r.Float64() < p

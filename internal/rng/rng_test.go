@@ -1,6 +1,7 @@
 package rng
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
@@ -284,4 +285,70 @@ func TestZeroSeedUsable(t *testing.T) {
 	if r.Uint64() == 0 && r.Uint64() == 0 {
 		t.Fatal("zero seed produced degenerate stream")
 	}
+}
+
+// momentCheck draws n samples and verifies mean and variance against the
+// analytic values within relative tolerance tol.
+func momentCheck(t *testing.T, name string, draw func() float64, n int, wantMean, wantVar, tol float64) {
+	t.Helper()
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := draw()
+		if v < 0 {
+			t.Fatalf("%s produced negative sample %g", name, v)
+		}
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean-wantMean)/wantMean > tol {
+		t.Fatalf("%s mean %g, want ~%g", name, mean, wantMean)
+	}
+	if math.Abs(variance-wantVar)/wantVar > 3*tol {
+		t.Fatalf("%s variance %g, want ~%g", name, variance, wantVar)
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	// Gamma(k, theta): mean k*theta, variance k*theta^2. Cover the
+	// shape<1 boost branch, the exponential boundary, and a peaked shape.
+	for _, c := range []struct{ shape, scale float64 }{{0.5, 2}, {1, 3}, {4, 0.5}, {9, 10}} {
+		r := New(29)
+		momentCheck(t, fmt.Sprintf("Gamma(%g,%g)", c.shape, c.scale),
+			func() float64 { return r.Gamma(c.shape, c.scale) },
+			200000, c.shape*c.scale, c.shape*c.scale*c.scale, 0.03)
+	}
+}
+
+func TestWeibullMoments(t *testing.T) {
+	// Weibull(k, lambda): mean lambda*Gamma(1+1/k),
+	// variance lambda^2*(Gamma(1+2/k)-Gamma(1+1/k)^2).
+	for _, c := range []struct{ shape, scale float64 }{{0.8, 5}, {1, 2}, {2.5, 100}} {
+		r := New(31)
+		g1 := math.Gamma(1 + 1/c.shape)
+		g2 := math.Gamma(1 + 2/c.shape)
+		momentCheck(t, fmt.Sprintf("Weibull(%g,%g)", c.shape, c.scale),
+			func() float64 { return r.Weibull(c.shape, c.scale) },
+			200000, c.scale*g1, c.scale*c.scale*(g2-g1*g1), 0.03)
+	}
+}
+
+func TestLogNormalMoments(t *testing.T) {
+	// LogNormal(mu, sigma): mean exp(mu+sigma^2/2),
+	// variance (exp(sigma^2)-1)*exp(2mu+sigma^2).
+	mu, sigma := 1.0, 0.5
+	r := New(37)
+	m := math.Exp(mu + sigma*sigma/2)
+	v := (math.Exp(sigma*sigma) - 1) * math.Exp(2*mu+sigma*sigma)
+	momentCheck(t, "LogNormal(1,0.5)", func() float64 { return r.LogNormal(mu, sigma) }, 200000, m, v, 0.03)
+}
+
+func TestGammaPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Gamma(0, 1) did not panic")
+		}
+	}()
+	New(1).Gamma(0, 1)
 }

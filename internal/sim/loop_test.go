@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"nlarm/internal/rng"
+	"nlarm/internal/simtime"
+)
+
+var loopEpoch = time.Date(2020, 3, 2, 8, 0, 0, 0, time.UTC)
+
+// randomLoopRun schedules a seeded burst of interleaved one-shot and
+// periodic events (some cancelling themselves, some spawning children)
+// and returns the mirrored event log and the digest.
+func randomLoopRun(t *testing.T, seed uint64) (string, string, uint64) {
+	t.Helper()
+	l := NewLoop(simtime.NewScheduler(loopEpoch))
+	var buf bytes.Buffer
+	l.SetLog(&buf)
+	r := rng.New(seed)
+	for i := 0; i < 200; i++ {
+		d := time.Duration(r.Intn(5000)) * time.Millisecond
+		name := fmt.Sprintf("one-%d", i)
+		switch i % 4 {
+		case 0: // plain one-shot
+			if _, err := l.ScheduleAfter(d, name, func(time.Time) {}); err != nil {
+				t.Fatalf("ScheduleAfter: %v", err)
+			}
+		case 1: // one-shot that spawns a child event
+			if _, err := l.ScheduleAfter(d, name, func(time.Time) {
+				l.ScheduleAfter(time.Duration(r.Intn(1000))*time.Millisecond, name+"-child", func(time.Time) {})
+			}); err != nil {
+				t.Fatalf("ScheduleAfter: %v", err)
+			}
+		case 2: // periodic, cancelled after a few fires
+			fires := 0
+			var cancel simtime.CancelFunc
+			cancel, err := l.ScheduleEvery(time.Duration(1+r.Intn(500))*time.Millisecond, name, func(time.Time) {
+				fires++
+				if fires >= 3 {
+					cancel()
+				}
+			})
+			if err != nil {
+				t.Fatalf("ScheduleEvery: %v", err)
+			}
+		default: // same-instant pile-up: zero-delay chains
+			if _, err := l.ScheduleAfter(d, name, func(now time.Time) {
+				l.ScheduleAfter(0, name+"-now", func(time.Time) {})
+			}); err != nil {
+				t.Fatalf("ScheduleAfter: %v", err)
+			}
+		}
+	}
+	fired, err := l.RunUntilIdle(100000)
+	if err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	if err := l.Err(); err != nil {
+		t.Fatalf("loop log error: %v", err)
+	}
+	return buf.String(), l.Digest(), fired
+}
+
+func TestLoopVirtualTimeNonDecreasing(t *testing.T) {
+	log, _, fired := randomLoopRun(t, 42)
+	lines := strings.Split(strings.TrimRight(log, "\n"), "\n")
+	if uint64(len(lines)) != fired {
+		t.Fatalf("log has %d lines, loop fired %d events", len(lines), fired)
+	}
+	prev := -1.0
+	for i, line := range lines {
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			t.Fatalf("line %d: malformed event log line %q", i, line)
+		}
+		idx, err := strconv.Atoi(fields[0])
+		if err != nil || idx != i+1 {
+			t.Fatalf("line %d: event index %q, want %d", i, fields[0], i+1)
+		}
+		at, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			t.Fatalf("line %d: bad timestamp %q: %v", i, fields[1], err)
+		}
+		if at < prev {
+			t.Fatalf("line %d: virtual time went backwards: %.9f after %.9f", i, at, prev)
+		}
+		prev = at
+	}
+}
+
+func TestLoopSameSeedByteIdenticalLogs(t *testing.T) {
+	log1, dig1, _ := randomLoopRun(t, 7)
+	log2, dig2, _ := randomLoopRun(t, 7)
+	if log1 != log2 {
+		t.Fatalf("same-seed event logs differ:\n--- run 1 ---\n%.400s\n--- run 2 ---\n%.400s", log1, log2)
+	}
+	if dig1 != dig2 {
+		t.Fatalf("same-seed digests differ: %s != %s", dig1, dig2)
+	}
+	_, dig3, _ := randomLoopRun(t, 8)
+	if dig3 == dig1 {
+		t.Fatalf("different seeds produced the same digest %s", dig1)
+	}
+}
+
+func TestLoopPastEventRejected(t *testing.T) {
+	l := NewLoop(simtime.NewScheduler(loopEpoch))
+	if _, err := l.ScheduleAt(loopEpoch.Add(-time.Second), "past", func(time.Time) {}); !errors.Is(err, ErrPastEvent) {
+		t.Fatalf("ScheduleAt(past) error = %v, want ErrPastEvent", err)
+	}
+	if _, err := l.ScheduleAfter(-time.Millisecond, "neg", func(time.Time) {}); !errors.Is(err, ErrPastEvent) {
+		t.Fatalf("ScheduleAfter(negative) error = %v, want ErrPastEvent", err)
+	}
+	if _, err := l.ScheduleEvery(0, "zero", func(time.Time) {}); err == nil {
+		t.Fatalf("ScheduleEvery(0) succeeded, want error")
+	}
+	// The rejected schedules must not have queued anything.
+	if l.Step() {
+		t.Fatalf("a rejected event still fired")
+	}
+	// Scheduling exactly at now is allowed.
+	if _, err := l.ScheduleAt(l.Now(), "at-now", func(time.Time) {}); err != nil {
+		t.Fatalf("ScheduleAt(now): %v", err)
+	}
+	if !l.Step() {
+		t.Fatalf("at-now event did not fire")
+	}
+}
+
+func TestLoopRunUntilIdleGuard(t *testing.T) {
+	l := NewLoop(simtime.NewScheduler(loopEpoch))
+	var renew func(time.Time)
+	renew = func(time.Time) { l.ScheduleAfter(time.Second, "renew", renew) }
+	if _, err := l.ScheduleAfter(time.Second, "renew", renew); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.RunUntilIdle(100); err == nil {
+		t.Fatalf("RunUntilIdle did not trip the runaway guard on a self-renewing chain")
+	}
+}

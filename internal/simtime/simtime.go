@@ -94,6 +94,15 @@ func (s *Scheduler) Now() time.Time {
 func (s *Scheduler) schedule(at time.Time, name string, fn func(time.Time), period time.Duration) *event {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.scheduleLocked(at, name, fn, period)
+}
+
+// scheduleLocked is schedule with s.mu already held. Callers that derive
+// the target from the current clock (After, Every) use it so the Now()
+// read and the heap insert are one atomic step — with two separate lock
+// acquisitions a concurrent Step could advance the clock in between and
+// the event would be silently clamped to a later instant.
+func (s *Scheduler) scheduleLocked(at time.Time, name string, fn func(time.Time), period time.Duration) *event {
 	if at.Before(s.now) {
 		at = s.now
 	}
@@ -115,9 +124,13 @@ func (s *Scheduler) At(at time.Time, name string, fn func(now time.Time)) Cancel
 	return func() { s.cancel(e) }
 }
 
-// After schedules fn to run once after d.
+// After schedules fn to run once after d (a non-positive d fires at the
+// current instant, after events already queued there).
 func (s *Scheduler) After(d time.Duration, name string, fn func(now time.Time)) CancelFunc {
-	return s.At(s.Now().Add(d), name, fn)
+	s.mu.Lock()
+	e := s.scheduleLocked(s.now.Add(d), name, fn, 0)
+	s.mu.Unlock()
+	return func() { s.cancel(e) }
 }
 
 // Every schedules fn to run every period, first at Now()+period.
@@ -126,7 +139,9 @@ func (s *Scheduler) Every(period time.Duration, name string, fn func(now time.Ti
 	if period <= 0 {
 		panic(fmt.Sprintf("simtime: Every(%v) for %q: period must be positive", period, name))
 	}
-	e := s.schedule(s.Now().Add(period), name, fn, period)
+	s.mu.Lock()
+	e := s.scheduleLocked(s.now.Add(period), name, fn, period)
+	s.mu.Unlock()
 	return func() { s.cancel(e) }
 }
 
@@ -172,6 +187,13 @@ func (s *Scheduler) RunUntil(deadline time.Time) int {
 	fired := 0
 	for {
 		s.mu.Lock()
+		// Discard cancelled events at the head before peeking: a cancelled
+		// event inside the deadline must not make Step fire the next LIVE
+		// event, which may lie beyond the deadline (Step skips cancelled
+		// entries internally and would run past the horizon).
+		for len(s.queue) > 0 && s.queue[0].done {
+			heap.Pop(&s.queue)
+		}
 		if len(s.queue) == 0 || s.queue[0].at.After(deadline) {
 			if s.now.Before(deadline) {
 				s.now = deadline

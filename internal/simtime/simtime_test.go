@@ -227,3 +227,123 @@ func TestRealRuntimeCloseStopsAll(t *testing.T) {
 	cancel()
 	time.Sleep(5 * time.Millisecond)
 }
+
+// TestRunUntilCancelledHeadRespectsDeadline is a regression test for the
+// event-loop wiring (PR 7): with a cancelled event inside the deadline at
+// the head of the queue, RunUntil used to peek the cancelled entry, call
+// Step, and fire the next LIVE event even when it lay beyond the deadline
+// — advancing the virtual clock past the requested horizon.
+func TestRunUntilCancelledHeadRespectsDeadline(t *testing.T) {
+	s := NewScheduler(epoch)
+	cancel := s.At(epoch.Add(10*time.Second), "cancelled", func(time.Time) {
+		t.Fatal("cancelled event fired")
+	})
+	lateFired := false
+	s.At(epoch.Add(30*time.Second), "late", func(time.Time) { lateFired = true })
+	cancel()
+	if fired := s.RunUntil(epoch.Add(20 * time.Second)); fired != 0 {
+		t.Fatalf("RunUntil fired %d events, want 0", fired)
+	}
+	if lateFired {
+		t.Fatal("event beyond the deadline fired")
+	}
+	if want := epoch.Add(20 * time.Second); !s.Now().Equal(want) {
+		t.Fatalf("clock at %v, want %v", s.Now(), want)
+	}
+	// The late event is still pending and fires once the horizon reaches it.
+	s.RunUntil(epoch.Add(40 * time.Second))
+	if !lateFired {
+		t.Fatal("late event lost")
+	}
+}
+
+// TestAfterZeroDurationFiresInScheduleOrder pins the zero-duration timer
+// semantics the sim event loop relies on: an After(0) fires at the
+// current instant but AFTER events already queued there, and a zero-delay
+// event scheduled from inside a callback fires after every previously
+// scheduled same-instant event (schedule order, never reordered).
+func TestAfterZeroDurationFiresInScheduleOrder(t *testing.T) {
+	s := NewScheduler(epoch)
+	var order []string
+	s.After(0, "a", func(time.Time) {
+		order = append(order, "a")
+		s.After(0, "nested", func(time.Time) { order = append(order, "nested") })
+	})
+	s.After(0, "b", func(time.Time) { order = append(order, "b") })
+	s.After(-time.Second, "clamped", func(now time.Time) {
+		if !now.Equal(epoch) {
+			t.Fatalf("negative After fired at %v, want clamp to %v", now, epoch)
+		}
+		order = append(order, "clamped")
+	})
+	s.RunUntil(epoch)
+	want := []string{"a", "b", "clamped", "nested"}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fired %v, want %v", order, want)
+		}
+	}
+	if !s.Now().Equal(epoch) {
+		t.Fatalf("zero-duration events moved the clock to %v", s.Now())
+	}
+}
+
+// TestEveryCancelInsideCallback verifies that a periodic activity
+// cancelling itself from its own callback stops immediately: the
+// occurrence re-pushed before the callback ran must be dropped.
+func TestEveryCancelInsideCallback(t *testing.T) {
+	s := NewScheduler(epoch)
+	fires := 0
+	var cancel CancelFunc
+	cancel = s.Every(time.Second, "self-stop", func(time.Time) {
+		fires++
+		if fires == 2 {
+			cancel()
+		}
+	})
+	s.RunUntil(epoch.Add(time.Minute))
+	if fires != 2 {
+		t.Fatalf("self-cancelled ticker fired %d times, want 2", fires)
+	}
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("%d events still pending after self-cancel", got)
+	}
+}
+
+// TestAfterSchedulesAtomically exercises the single-lock After path under
+// the race detector: concurrent schedulers and a stepping driver must
+// never deliver a callback with a now before the scheduler's start.
+func TestAfterSchedulesAtomically(t *testing.T) {
+	s := NewScheduler(epoch)
+	var wg sync.WaitGroup
+	var bad atomic.Int32
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s.After(time.Duration(i)*time.Millisecond, "conc", func(now time.Time) {
+					if now.Before(epoch) {
+						bad.Add(1)
+					}
+				})
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			s.Step()
+		}
+	}()
+	wg.Wait()
+	<-done
+	s.RunUntil(epoch.Add(time.Second))
+	if bad.Load() != 0 {
+		t.Fatalf("%d callbacks saw a pre-start now", bad.Load())
+	}
+}

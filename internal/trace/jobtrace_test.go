@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleRecords() []JobRecord {
+	return []JobRecord{
+		{ID: 0, Cohort: "batch", Procs: 32, PPN: 8, SubmitSec: 0, StartSec: 0, EndSec: 600, WalltimeSec: 900, Nodes: 4},
+		{ID: 2, Cohort: "array", Client: 3, Procs: 4, PPN: 4, Priority: 1, SubmitSec: 30, StartSec: 30, EndSec: 150, WalltimeSec: 180, Nodes: 1, Backfilled: true},
+		{ID: 1, Cohort: "batch", Procs: 9000, PPN: 8, SubmitSec: 10, StartSec: -1, EndSec: -1, Nodes: 1125},
+	}
+}
+
+func TestJobTraceRoundTrip(t *testing.T) {
+	scen := json.RawMessage(`{"nodes":64,"seed":9}`)
+	var buf bytes.Buffer
+	tw, err := NewJobTraceWriter(&buf, JobTraceHeader{Seed: 9, Scenario: scen})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleRecords()
+	for _, rec := range want {
+		if err := tw.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if tw.Records() != len(want) {
+		t.Fatalf("writer counted %d records, want %d", tw.Records(), len(want))
+	}
+	hdr, recs, digest, err := ReadJobTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Kind != JobTraceKind || hdr.Version != JobTraceVersion || hdr.Seed != 9 {
+		t.Fatalf("header round trip lost fields: %+v", hdr)
+	}
+	if string(hdr.Scenario) != string(scen) {
+		t.Fatalf("scenario round trip: %s", hdr.Scenario)
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("read %d records, want %d", len(recs), len(want))
+	}
+	for i := range want {
+		if recs[i] != want[i] {
+			t.Fatalf("record %d round trip: %+v != %+v", i, recs[i], want[i])
+		}
+	}
+	if digest != tw.Digest() {
+		t.Fatalf("reader digest %s != writer digest %s", digest, tw.Digest())
+	}
+}
+
+func TestJobTraceWriterDeterministicBytes(t *testing.T) {
+	write := func() (string, string) {
+		var buf bytes.Buffer
+		tw, err := NewJobTraceWriter(&buf, JobTraceHeader{Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range sampleRecords() {
+			if err := tw.Write(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String(), tw.Digest()
+	}
+	b1, d1 := write()
+	b2, d2 := write()
+	if b1 != b2 || d1 != d2 {
+		t.Fatalf("two identical writes produced different bytes or digests")
+	}
+}
+
+func TestJobTraceRejectsWrongKindAndVersion(t *testing.T) {
+	if _, _, _, err := ReadJobTrace(strings.NewReader(`{"kind":"other","version":1}` + "\n")); err == nil {
+		t.Fatal("wrong kind accepted")
+	}
+	if _, _, _, err := ReadJobTrace(strings.NewReader(`{"kind":"nlarm-jobtrace","version":99}` + "\n")); err == nil {
+		t.Fatal("future version accepted")
+	}
+	if _, _, _, err := ReadJobTrace(strings.NewReader("")); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	if _, _, _, err := ReadJobTrace(strings.NewReader(`{"kind":"nlarm-jobtrace","version":1}` + "\nnot json\n")); err == nil {
+		t.Fatal("malformed record accepted")
+	}
+}
+
+func TestDiffJobRecords(t *testing.T) {
+	a := sampleRecords()
+	b := sampleRecords()
+	if diffs := DiffJobRecords(a, b, 10); len(diffs) != 0 {
+		t.Fatalf("identical records diffed: %v", diffs)
+	}
+	b[1].StartSec = 31
+	diffs := DiffJobRecords(a, b, 10)
+	if len(diffs) != 1 || !strings.Contains(diffs[0], "record 1") {
+		t.Fatalf("want one diff on record 1, got %v", diffs)
+	}
+	if diffs := DiffJobRecords(a, b[:2], 10); len(diffs) == 0 {
+		t.Fatal("length mismatch not reported")
+	}
+	// maxDiffs caps the output.
+	var c []JobRecord
+	for i := range a {
+		r := a[i]
+		r.EndSec += 1000
+		c = append(c, r)
+	}
+	if diffs := DiffJobRecords(a, c, 2); len(diffs) != 2 {
+		t.Fatalf("maxDiffs 2 returned %d diffs", len(diffs))
+	}
+}
