@@ -7,16 +7,24 @@ package nlarm
 // paper claims runs in ~1-2 ms ("practically nil overhead", §3.3.2).
 
 import (
+	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"nlarm/internal/alloc"
+	"nlarm/internal/broker"
+	"nlarm/internal/cluster"
 	"nlarm/internal/harness"
 	"nlarm/internal/metrics"
 	"nlarm/internal/monitor"
 	"nlarm/internal/rng"
 	"nlarm/internal/sim"
+	"nlarm/internal/simtime"
 	"nlarm/internal/stats"
+	"nlarm/internal/store"
+	"nlarm/internal/world"
 )
 
 // BenchmarkFigure1ResourceTraces regenerates Figure 1 (node resource-usage
@@ -525,5 +533,153 @@ func BenchmarkSimMillionJobs(b *testing.B) {
 		}
 		b.ReportMetric(res.MeanWaitSec, "meanwait-s")
 		b.ReportMetric(float64(res.Completed)/res.WallTime.Seconds(), "jobs/s")
+	}
+}
+
+// benchBrokerServer wires a monitored 8-node stack (the broker package's
+// standard test rig) behind a TCP server. Virtual time is frozen during
+// the measurement, so every request prices against one warm snapshot
+// generation — the benchmark then isolates front-door throughput, not
+// monitor churn.
+func benchBrokerServer(b *testing.B, seed uint64, opts broker.ServerOptions) *broker.Server {
+	b.Helper()
+	cl, err := cluster.BuildUniform(2, 4, 8, 3.0, 8192)
+	if err != nil {
+		b.Fatal(err)
+	}
+	start := time.Date(2020, 3, 2, 8, 0, 0, 0, time.UTC)
+	sched := simtime.NewScheduler(start)
+	w := world.New(cl, world.Config{Seed: seed, StepSize: time.Second}, start)
+	w.Attach(sched)
+	st := store.NewMem()
+	mgr := monitor.NewManager(&monitor.WorldProber{W: w}, st, monitor.Config{
+		NodeStatePeriod: 2 * time.Second,
+		LivehostsPeriod: 2 * time.Second,
+		LatencyPeriod:   5 * time.Second,
+		BandwidthPeriod: 10 * time.Second,
+	})
+	if err := mgr.Start(sched); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(mgr.Stop)
+	sched.RunFor(30 * time.Second)
+	srv, err := broker.NewServerOpts(broker.New(st, sched, broker.Config{Seed: seed}), nil, "127.0.0.1:0", opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return srv
+}
+
+// benchBrokerRequests are the request shapes the concurrent benchmark
+// cycles through — a handful of distinct shapes, the way a production
+// front door sees bursts of near-identical asks, so batches both
+// exercise and profit from in-batch deduplication.
+var benchBrokerRequests = [4]broker.Request{
+	{Procs: 8, PPN: 4, Force: true},
+	{Procs: 4, PPN: 4, Force: true},
+	{Procs: 8, PPN: 2, Alpha: 0.3, Beta: 0.7, Force: true},
+	{Procs: 16, PPN: 4, Force: true},
+}
+
+// benchmarkBrokerOneShot is the baseline: every logical client owns one
+// connection and serializes whole round trips over it — the pre-batching
+// deployment model.
+func benchmarkBrokerOneShot(b *testing.B, clients int) {
+	srv := benchBrokerServer(b, 42, broker.ServerOptions{})
+	defer srv.Close()
+	conns := make([]*broker.Client, clients)
+	for i := range conns {
+		c, err := broker.Dial(srv.Addr(), 5*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		conns[i] = c
+	}
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	runBrokerClients(b, clients, func(worker int, req broker.Request) error {
+		_, err := conns[worker].Allocate(req)
+		return err
+	})
+}
+
+// benchmarkBrokerPipelined is the batched front door: the same logical
+// clients share a small pool of pipelined connections into a batching,
+// admission-controlled server.
+func benchmarkBrokerPipelined(b *testing.B, clients int) {
+	srv := benchBrokerServer(b, 42, broker.ServerOptions{
+		MaxInflight: -1,
+		Batching: &broker.BatcherOptions{
+			MaxBatch:  1024,
+			Admission: broker.AdmissionConfig{QueueDepth: 1 << 20},
+		},
+	})
+	defer srv.Close()
+	pool := broker.NewPool(srv.Addr(), broker.PoolOptions{
+		Size:   4,
+		Client: broker.ClientOptions{MaxInflight: 2048},
+	})
+	defer pool.Close()
+	if _, err := pool.Allocate(benchBrokerRequests[0]); err != nil { // warm the dials
+		b.Fatal(err)
+	}
+	runBrokerClients(b, clients, func(_ int, req broker.Request) error {
+		_, err := pool.Allocate(req)
+		return err
+	})
+}
+
+// runBrokerClients drives b.N allocations through `clients` concurrent
+// workers and reports sustained allocations per second.
+func runBrokerClients(b *testing.B, clients int, call func(worker int, req broker.Request) error) {
+	b.Helper()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var firstErr atomic.Value
+	b.ReportAllocs()
+	b.ResetTimer()
+	for wkr := 0; wkr < clients; wkr++ {
+		wkr := wkr
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				n := next.Add(1)
+				if n > int64(b.N) {
+					return
+				}
+				if err := call(wkr, benchBrokerRequests[n%4]); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	if err := firstErr.Load(); err != nil {
+		b.Fatal(err)
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)/secs, "alloc/s")
+	}
+}
+
+// BenchmarkBrokerConcurrent compares the one-shot baseline (a connection
+// per client, one request per round trip) against the batched pipelined
+// front door at 128, 512, and 1024 concurrent clients. The acceptance
+// bar for the batching work is >=5x sustained alloc/s at 512 clients;
+// recorded numbers live in BENCH_alloc.json.
+func BenchmarkBrokerConcurrent(b *testing.B) {
+	for _, clients := range []int{128, 512, 1024} {
+		b.Run(fmt.Sprintf("oneshot-%d", clients), func(b *testing.B) {
+			benchmarkBrokerOneShot(b, clients)
+		})
+		b.Run(fmt.Sprintf("pipelined-%d", clients), func(b *testing.B) {
+			benchmarkBrokerPipelined(b, clients)
+		})
 	}
 }

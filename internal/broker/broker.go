@@ -106,6 +106,11 @@ type Response struct {
 	// Candidates holds Algorithm 1's full candidate set when the request
 	// asked for an explanation (net-load-aware policy only).
 	Candidates []CandidateInfo `json:"candidates,omitempty"`
+	// SnapshotFP is the content fingerprint of the monitoring snapshot
+	// this answer was priced against. Every response in one batch
+	// carries the same fingerprint — the batcher's same-generation
+	// guarantee, testable by clients.
+	SnapshotFP uint64 `json:"snapshot_fp,omitempty"`
 }
 
 // Config tunes the broker.
@@ -487,7 +492,129 @@ func loadDecayETA(load, threshold float64) time.Duration {
 func (b *Broker) Allocate(req Request) (Response, error) {
 	start := b.rt.Now()
 	resp, model, cacheHit, err := b.allocate(req)
+	b.finishDecision(start, req, resp, model, cacheHit, err)
+	if err != nil {
+		return Response{}, err
+	}
+	return resp, nil
+}
 
+// BatchResult is one request's outcome from AllocateBatch. Exactly one
+// of Response/Err is meaningful, matching Allocate's return contract.
+type BatchResult struct {
+	Response Response
+	Err      error
+}
+
+// AllocateBatch prices every request against one snapshot generation:
+// the snapshot (and its singleflight refresh) is acquired once, then the
+// requests are applied sequentially in order, exactly as back-to-back
+// Allocate calls against an unchanged store would be — results are
+// bit-identical to that sequential execution, including decision
+// records and policy-rng consumption. Identical requests under a
+// stateless deterministic policy are additionally deduplicated within
+// the batch (the first answer is reused), which cannot change results
+// precisely because sequential identical requests on one snapshot are
+// deterministic for those policies.
+func (b *Broker) AllocateBatch(reqs []Request) []BatchResult {
+	results := make([]BatchResult, len(reqs))
+	if len(reqs) == 0 {
+		return results
+	}
+	start := b.rt.Now()
+	sv, degradedReason, err := b.acquireSnapshot()
+	if err != nil {
+		for i, req := range reqs {
+			results[i] = BatchResult{Err: err}
+			b.finishDecision(start, req, Response{}, nil, false, err)
+		}
+		return results
+	}
+	if degradedReason != "" && len(reqs) > 1 {
+		// acquireSnapshot counted one degraded serve, but every request in
+		// this batch is answered from the last-good snapshot —
+		// DegradedServed counts requests, not snapshot acquisitions.
+		b.lastGoodMu.Lock()
+		b.degraded += uint64(len(reqs) - 1)
+		b.lastGoodMu.Unlock()
+	}
+	type dedupKey struct {
+		req Request
+	}
+	type dedupVal struct {
+		resp Response
+		err  error
+	}
+	seen := make(map[dedupKey]dedupVal)
+	for i, req := range reqs {
+		key := dedupKey{req: req}
+		if v, ok := seen[key]; ok {
+			// Keep the broker's rng stream identical to the sequential
+			// execution: every served request consumes one split.
+			b.consumeSplit(req.Policy)
+			results[i] = BatchResult{Response: v.resp, Err: v.err}
+			b.finishDecision(start, req, v.resp, nil, true, v.err)
+			b.obs.Counter("broker.batch.dedup.hits").Inc()
+			continue
+		}
+		resp, model, cacheHit, err := b.allocateOn(sv, degradedReason, req)
+		if err != nil {
+			results[i] = BatchResult{Err: err}
+		} else {
+			results[i] = BatchResult{Response: resp}
+		}
+		b.finishDecision(start, req, resp, model, cacheHit, err)
+		if !req.Explain && b.dedupablePolicy(req.Policy) {
+			seen[key] = dedupVal{resp: resp, err: err}
+		}
+	}
+	return results
+}
+
+// dedupablePolicy reports whether identical requests under the named
+// policy are safe to answer once per batch: the policy must be
+// stateless, never draw from its rng split, and be deterministic on a
+// fixed snapshot. The built-in net-load-aware and load-aware policies
+// qualify; Random and Sequential do not (both draw from the rng, so
+// identical back-to-back requests legitimately differ), and registered
+// wrappers like ReservingPolicy do not (reservations make back-to-back
+// answers differ by design).
+func (b *Broker) dedupablePolicy(name string) bool {
+	if name == "" {
+		name = alloc.NetLoadAware{}.Name()
+	}
+	b.mu.Lock()
+	pol, ok := b.policies[name]
+	b.mu.Unlock()
+	if !ok {
+		return false
+	}
+	switch pol.(type) {
+	case alloc.NetLoadAware, alloc.LoadAware:
+		return true
+	}
+	return false
+}
+
+// consumeSplit advances the policy rng exactly as serving the request
+// would, so deduplicated batch members leave the same rng stream behind
+// as the sequential execution they stand in for. Unknown policies
+// consume nothing (the sequential path errors before splitting).
+func (b *Broker) consumeSplit(policy string) {
+	if policy == "" {
+		policy = alloc.NetLoadAware{}.Name()
+	}
+	b.mu.Lock()
+	if _, ok := b.policies[policy]; ok {
+		b.rnd.Split()
+	}
+	b.mu.Unlock()
+}
+
+// finishDecision builds and records the decision record for one served
+// request and observes the allocate latency histogram — shared by the
+// single-request and batched paths so both leave identical audit trails.
+func (b *Broker) finishDecision(start time.Time, req Request, resp Response, model *alloc.CostModel, cacheHit bool, err error) {
 	rec := DecisionRecord{
 		At:          start,
 		Policy:      req.Policy,
@@ -523,15 +650,23 @@ func (b *Broker) Allocate(req Request) (Response, error) {
 	}
 	b.recordDecision(rec)
 	b.obs.Histogram("broker.allocate.seconds").Observe(b.rt.Now().Sub(start).Seconds())
-	if err != nil {
-		return Response{}, err
-	}
-	return resp, nil
 }
 
 // allocate is Allocate's core, also reporting the priced cost model and
 // whether it came from the cache (for the decision record).
 func (b *Broker) allocate(req Request) (Response, *alloc.CostModel, bool, error) {
+	sv, degradedReason, err := b.acquireSnapshot()
+	if err != nil {
+		return Response{}, nil, false, err
+	}
+	return b.allocateOn(sv, degradedReason, req)
+}
+
+// allocateOn prices one request against an already-acquired snapshot
+// view — the shared tail of the single-request and batched paths. The
+// policy lookup, wait heuristic, cost-model fetch, and policy run all
+// happen here; only the snapshot acquisition differs between callers.
+func (b *Broker) allocateOn(sv snapView, degradedReason string, req Request) (Response, *alloc.CostModel, bool, error) {
 	if req.Policy == "" {
 		req.Policy = alloc.NetLoadAware{}.Name()
 	}
@@ -545,15 +680,10 @@ func (b *Broker) allocate(req Request) (Response, *alloc.CostModel, bool, error)
 	if !ok {
 		return Response{}, nil, false, fmt.Errorf("broker: unknown policy %q", req.Policy)
 	}
-
-	sv, degradedReason, err := b.acquireSnapshot()
-	if err != nil {
-		return Response{}, nil, false, err
-	}
 	snap := sv.snap
 
 	loadPerCore := clusterLoadPerCore(snap)
-	resp := Response{Policy: pol.Name(), ClusterLoad: loadPerCore, FreeProcs: alloc.FreeSlots(snap)}
+	resp := Response{Policy: pol.Name(), ClusterLoad: loadPerCore, FreeProcs: alloc.FreeSlots(snap), SnapshotFP: sv.fp}
 	if degradedReason != "" {
 		resp.Degraded = true
 		resp.DegradedReason = degradedReason

@@ -1,0 +1,207 @@
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"nlarm/internal/loadgen"
+)
+
+// startServer spins a broker server for pipelining tests and tears it
+// down with the test.
+func startServer(t *testing.T, seed uint64, opts ServerOptions) (*rig, *Server) {
+	t.Helper()
+	r := newRig(t, seed, loadgen.Config{})
+	srv, err := NewServerOpts(r.b, nil, "127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return r, srv
+}
+
+// procsOf sums a response's per-node process counts — the echo that
+// ties a response back to the request that asked for it.
+func procsOf(resp Response) int {
+	total := 0
+	for _, n := range resp.Procs {
+		total += n
+	}
+	return total
+}
+
+// TestClientPipelineNoCrossWiring is the regression test for the
+// round-trip serialization fix: the old client held one lock across
+// send+receive, so interleaved concurrent calls were impossible and an
+// ID-less interleaving would have handed responses to the wrong
+// callers. Here many goroutines share one Client, each asking for a
+// distinct process count, and every response must answer its own
+// request — on both the inline and the batched server paths.
+func TestClientPipelineNoCrossWiring(t *testing.T) {
+	for _, mode := range []struct {
+		name string
+		opts ServerOptions
+	}{
+		{"inline", ServerOptions{}},
+		{"batched", ServerOptions{Batching: &BatcherOptions{MaxBatch: 32}}},
+	} {
+		mode := mode
+		t.Run(mode.name, func(t *testing.T) {
+			_, srv := startServer(t, 41, mode.opts)
+			c, err := Dial(srv.Addr(), time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+
+			const workers = 8
+			const rounds = 30
+			var wg sync.WaitGroup
+			errs := make(chan error, workers)
+			for w := 0; w < workers; w++ {
+				want := w + 1 // distinct procs per goroutine
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < rounds; i++ {
+						resp, err := c.Allocate(Request{Procs: want, Force: true})
+						if err != nil {
+							errs <- fmt.Errorf("procs=%d: %w", want, err)
+							return
+						}
+						if got := procsOf(resp); got != want {
+							errs <- fmt.Errorf("asked for %d procs, response placed %d: cross-wired", want, got)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestClientPipelinesConcurrently proves requests actually overlap on
+// one connection: with a batching server and no dispatcher running,
+// every in-flight request parks in the queue — N concurrent calls can
+// only all become pending at once if the client pipelines instead of
+// serializing whole round trips.
+func TestClientPipelinesConcurrently(t *testing.T) {
+	r := newRig(t, 42, loadgen.Config{})
+	bt := NewBatcher(r.b, nil, BatcherOptions{MaxBatch: 64})
+	srv, err := NewServerOpts(r.b, nil, "127.0.0.1:0", ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	// Undispatched batcher injected by hand: requests queue until we
+	// Flush, which must still drain the per-connection write buffers.
+	bt.opts.AfterBatch = srv.flushDirty
+	srv.batcher = bt
+
+	c, err := Dial(srv.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const inflight = 10
+	var wg sync.WaitGroup
+	for i := 0; i < inflight; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.Allocate(Request{Procs: 4, Force: true}); err != nil {
+				t.Errorf("pipelined allocate: %v", err)
+			}
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for bt.QueueDepth() < inflight {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d requests in flight on one connection: client is serializing round trips", bt.QueueDepth(), inflight)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if served := bt.Flush(); served != inflight {
+		t.Fatalf("flush served %d of %d", served, inflight)
+	}
+	wg.Wait()
+	bt.Close()
+}
+
+// TestPoolReconnectsAfterConnDeath kills every server-side connection
+// out from under a pool and checks the next calls transparently redial
+// and succeed — the retry path that makes server restarts invisible to
+// pool callers.
+func TestPoolReconnectsAfterConnDeath(t *testing.T) {
+	_, srv := startServer(t, 43, ServerOptions{Batching: &BatcherOptions{MaxBatch: 16}})
+	p := NewPool(srv.Addr(), PoolOptions{Size: 3})
+	defer p.Close()
+
+	for i := 0; i < 6; i++ { // warm every slot
+		if _, err := p.Allocate(Request{Procs: 4, Force: true}); err != nil {
+			t.Fatalf("warmup %d: %v", i, err)
+		}
+	}
+	srv.DisconnectAll()
+	for i := 0; i < 6; i++ { // every slot must recover
+		if _, err := p.Allocate(Request{Procs: 4, Force: true}); err != nil {
+			t.Fatalf("post-disconnect allocate %d: %v", i, err)
+		}
+	}
+	if err := p.Health(); err != nil {
+		t.Fatalf("health after recovery: %v", err)
+	}
+}
+
+// TestPoolDoesNotRetrySheds: a shed is a server answer, not a transport
+// failure — retrying it on a fresh connection would defeat admission
+// control. The pool must hand the ShedError straight back.
+func TestPoolDoesNotRetrySheds(t *testing.T) {
+	r, srv := startServer(t, 44, ServerOptions{Batching: &BatcherOptions{
+		MaxBatch:  16,
+		Admission: AdmissionConfig{TenantRate: 1, TenantBurst: 1},
+	}})
+	p := NewPool(srv.Addr(), PoolOptions{Size: 1})
+	defer p.Close()
+
+	if _, err := p.Allocate(Request{Procs: 4, Force: true}); err != nil {
+		t.Fatalf("first allocate (burst token): %v", err)
+	}
+	_, err := p.Allocate(Request{Procs: 4, Force: true})
+	var se *ShedError
+	if !errors.As(err, &se) {
+		t.Fatalf("second allocate: got %v, want shed", err)
+	}
+	if se.RetryAfter <= 0 {
+		t.Fatalf("shed lost its retry hint over the wire: %+v", se)
+	}
+	shedTotal := r.b.Obs().Counter("broker.admit.shed.total").Value()
+	if shedTotal != 1 {
+		t.Fatalf("server shed %d requests; a retry would have made it 2+", shedTotal)
+	}
+}
+
+// TestPoolLazyDialFailure: a pool pointed at a dead address fails each
+// call with a dial error rather than hanging or panicking, and Close is
+// still clean.
+func TestPoolLazyDialFailure(t *testing.T) {
+	p := NewPool("127.0.0.1:1", PoolOptions{Size: 2, Client: ClientOptions{Timeout: 200 * time.Millisecond}})
+	if _, err := p.Allocate(Request{Procs: 4}); err == nil {
+		t.Fatal("allocate against dead address succeeded")
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := p.Allocate(Request{Procs: 4}); !errors.Is(err, errClientClosed) {
+		t.Fatalf("allocate after close: %v", err)
+	}
+}

@@ -1,0 +1,189 @@
+package broker
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// PoolOptions tunes a connection pool.
+type PoolOptions struct {
+	// Size is the number of pooled connections. Default 4.
+	Size int
+	// Client configures each pooled connection (dial timeout, tenant,
+	// per-connection in-flight cap).
+	Client ClientOptions
+}
+
+func (o PoolOptions) withDefaults() PoolOptions {
+	if o.Size <= 0 {
+		o.Size = 4
+	}
+	return o
+}
+
+// Pool multiplexes callers over a fixed set of pipelined broker
+// connections: requests round-robin across connections, each connection
+// keeps many requests in flight, and a connection that dies (server
+// restart, network blip) is redialed transparently on next use, with
+// one retry for the call that found it dead. Millions of logical
+// clients front a broker through a handful of pooled connections
+// instead of a handful of syscalls each.
+type Pool struct {
+	addr string
+	opts PoolOptions
+
+	next atomic.Uint64
+	mu   sync.Mutex
+	conn []*Client
+	done bool
+}
+
+// NewPool builds a pool dialing addr lazily: connections are opened on
+// first use, so construction never blocks on the network.
+func NewPool(addr string, opts PoolOptions) *Pool {
+	opts = opts.withDefaults()
+	return &Pool{addr: addr, opts: opts, conn: make([]*Client, opts.Size)}
+}
+
+// get returns the next connection in round-robin order, dialing or
+// redialing its slot if it is absent or dead.
+func (p *Pool) get() (*Client, error) {
+	slot := int(p.next.Add(1) % uint64(p.opts.Size))
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.done {
+		return nil, errClientClosed
+	}
+	c := p.conn[slot]
+	if c != nil && c.Alive() {
+		return c, nil
+	}
+	if c != nil {
+		_ = c.Close()
+	}
+	nc, err := DialOpts(p.addr, p.opts.Client)
+	if err != nil {
+		p.conn[slot] = nil
+		return nil, err
+	}
+	p.conn[slot] = nc
+	return nc, nil
+}
+
+// refresh replaces old (wherever it still sits in the pool) with a
+// freshly dialed connection and returns it. Dialing anew — rather than
+// round-robining to a neighbor — matters after a server restart: every
+// other slot may be equally dead without its reader having noticed yet,
+// so a retry on a neighbor would just fail again.
+func (p *Pool) refresh(old *Client) (*Client, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.done {
+		return nil, errClientClosed
+	}
+	slot := -1
+	for i, c := range p.conn {
+		if c == old {
+			slot = i
+			break
+		}
+	}
+	_ = old.Close()
+	nc, err := DialOpts(p.addr, p.opts.Client)
+	if err != nil {
+		if slot >= 0 {
+			p.conn[slot] = nil
+		}
+		return nil, err
+	}
+	if slot >= 0 {
+		p.conn[slot] = nc
+	}
+	return nc, nil
+}
+
+// retryable reports whether an error is a transport failure worth one
+// retry on a fresh connection. Server-side answers (allocation errors,
+// sheds) are returned to the caller untouched.
+func retryable(err error) bool {
+	return err != nil && !errors.Is(err, ErrShed) &&
+		(errors.Is(err, errClientClosed) || isTransport(err))
+}
+
+// isTransport matches the client's wrapped send/recv/decode failures.
+func isTransport(err error) bool {
+	s := err.Error()
+	for _, prefix := range []string{"broker: send: ", "broker: recv: ", "broker: decode: ", "broker: dial "} {
+		if len(s) >= len(prefix) && s[:len(prefix)] == prefix {
+			return true
+		}
+	}
+	return false
+}
+
+// Allocate requests an allocation over a pooled connection, retrying
+// once on a fresh connection if the first died mid-call.
+func (p *Pool) Allocate(req Request) (Response, error) {
+	c, err := p.get()
+	if err != nil {
+		return Response{}, err
+	}
+	resp, err := c.Allocate(req)
+	if retryable(err) {
+		if c, rerr := p.refresh(c); rerr == nil {
+			return c.Allocate(req)
+		}
+	}
+	return resp, err
+}
+
+// Submit queues a job over a pooled connection, retrying once on a
+// fresh connection if the first died mid-call. A retry can double-submit
+// if the original request was applied before the connection died —
+// callers that need exactly-once submission should use Client directly.
+func (p *Pool) Submit(req SubmitRequest) (int, error) {
+	c, err := p.get()
+	if err != nil {
+		return 0, err
+	}
+	id, err := c.Submit(req)
+	if retryable(err) {
+		if c, rerr := p.refresh(c); rerr == nil {
+			return c.Submit(req)
+		}
+	}
+	return id, err
+}
+
+// Health checks the server over a pooled connection.
+func (p *Pool) Health() error {
+	c, err := p.get()
+	if err != nil {
+		return err
+	}
+	err = c.Health()
+	if retryable(err) {
+		if c, rerr := p.refresh(c); rerr == nil {
+			return c.Health()
+		}
+	}
+	return err
+}
+
+// Close tears down every pooled connection; subsequent calls fail.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done = true
+	var first error
+	for i, c := range p.conn {
+		if c != nil {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+			p.conn[i] = nil
+		}
+	}
+	return first
+}

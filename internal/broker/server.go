@@ -7,13 +7,27 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nlarm/internal/obs"
 )
 
+// errNoManager is the rejection for submit/job/queue actions on a server
+// built without a job manager.
+var errNoManager = errors.New("server has no job manager")
+
 // wireRequest is the newline-delimited JSON protocol envelope.
 type wireRequest struct {
+	// ID is the client's request identifier, echoed verbatim on the
+	// response so a pipelined client can keep many requests in flight on
+	// one connection and match answers by ID. 0 (or absent) is valid for
+	// strictly serial clients: responses to a connection that never
+	// pipelines still come back in order.
+	ID uint64 `json:"id,omitempty"`
+	// Tenant labels the request for admission control and fairness
+	// accounting. Empty means the default tenant.
+	Tenant string `json:"tenant,omitempty"`
 	// Action is "allocate", "policies", "health", "metrics", "decisions",
 	// or — when the server has a Manager — "submit", "job", "queue".
 	Action  string         `json:"action"`
@@ -26,14 +40,23 @@ type wireRequest struct {
 }
 
 type wireResponse struct {
-	OK       bool        `json:"ok"`
-	Error    string      `json:"error,omitempty"`
-	Response *Response   `json:"response,omitempty"`
-	Policies []string    `json:"policies,omitempty"`
-	Health   string      `json:"health,omitempty"`
-	JobID    int         `json:"job_id,omitempty"`
-	Job      *JobInfo    `json:"job,omitempty"`
-	Queue    *QueueStats `json:"queue,omitempty"`
+	// ID echoes the request's ID (0 for unsolicited errors such as an
+	// unparseable line, where no ID could be read).
+	ID    uint64 `json:"id,omitempty"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	// Shed marks an admission-control rejection; RetryAfterMS is the
+	// server's retry hint in milliseconds and ShedReason the cause
+	// ("rate", "queue-full", "inflight").
+	Shed         bool        `json:"shed,omitempty"`
+	RetryAfterMS int64       `json:"retry_after_ms,omitempty"`
+	ShedReason   string      `json:"shed_reason,omitempty"`
+	Response     *Response   `json:"response,omitempty"`
+	Policies     []string    `json:"policies,omitempty"`
+	Health       string      `json:"health,omitempty"`
+	JobID        int         `json:"job_id,omitempty"`
+	Job          *JobInfo    `json:"job,omitempty"`
+	Queue        *QueueStats `json:"queue,omitempty"`
 	// Metrics is the structured registry snapshot and MetricsText its
 	// deterministic rendering ("metrics" action).
 	Metrics     *obs.Snapshot `json:"metrics,omitempty"`
@@ -42,7 +65,19 @@ type wireResponse struct {
 	Decisions []DecisionRecord `json:"decisions,omitempty"`
 }
 
-// ServerOptions harden the wire protocol against misbehaving clients.
+// shedResponse builds the wire form of an admission rejection.
+func shedResponse(id uint64, e *ShedError) wireResponse {
+	return wireResponse{
+		ID:           id,
+		Error:        e.Error(),
+		Shed:         true,
+		RetryAfterMS: int64(e.RetryAfter / time.Millisecond),
+		ShedReason:   e.Reason,
+	}
+}
+
+// ServerOptions harden the wire protocol against misbehaving clients and
+// configure the batched front door.
 type ServerOptions struct {
 	// ReadTimeout is the per-line read deadline: a connection that sends
 	// no complete line for this long is closed, so a stalled client can
@@ -52,6 +87,24 @@ type ServerOptions struct {
 	// MaxLineBytes caps one request line. A longer line gets a single
 	// error response, then the connection closes. Default 1 MiB.
 	MaxLineBytes int
+	// Batching, when non-nil, routes allocate and submit requests
+	// through a Batcher: admission control, per-tenant fairness, and
+	// batch pricing against one snapshot generation. Nil serves every
+	// request inline on its connection goroutine (the pre-batching wire
+	// path). Responses to batched requests may return out of order;
+	// pipelined clients match them by request ID.
+	Batching *BatcherOptions
+	// MaxInflight caps outstanding batched requests per connection;
+	// excess requests are shed with reason "inflight". 0 means the
+	// default 1024; negative disables the cap. Only meaningful with
+	// Batching set.
+	MaxInflight int
+	// WriteTimeout bounds every response write. Without it a client that
+	// stops reading would eventually block a batch flush on its full TCP
+	// send buffer — pinning the dispatcher the way stalled readers once
+	// pinned serving goroutines. On expiry the connection is closed and
+	// the batch moves on. Default 1 minute; negative disables.
+	WriteTimeout time.Duration
 }
 
 func (o ServerOptions) withDefaults() ServerOptions {
@@ -61,21 +114,111 @@ func (o ServerOptions) withDefaults() ServerOptions {
 	if o.MaxLineBytes <= 0 {
 		o.MaxLineBytes = 1 << 20
 	}
+	if o.MaxInflight == 0 {
+		o.MaxInflight = 1024
+	}
+	if o.WriteTimeout == 0 {
+		o.WriteTimeout = time.Minute
+	}
 	return o
 }
 
+// connWriter serializes and buffers one connection's responses. Inline
+// responses flush immediately; batched responses accumulate in the
+// buffer and are flushed once per batch (the write-side amortization
+// that, with request pipelining, turns one syscall per response into one
+// per connection per batch).
+type connWriter struct {
+	conn     net.Conn
+	timeout  time.Duration
+	mu       sync.Mutex
+	bw       *bufio.Writer
+	enc      *json.Encoder
+	err      error
+	inflight atomic.Int64
+}
+
+func newConnWriter(conn net.Conn, timeout time.Duration) *connWriter {
+	bw := bufio.NewWriterSize(conn, 32*1024)
+	return &connWriter{conn: conn, timeout: timeout, bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// arm sets the write deadline ahead of a socket-touching operation; a
+// full bufio.Writer can flush (and therefore block) inside Encode, so
+// encode arms too. Must hold mu.
+func (cw *connWriter) arm() {
+	if cw.timeout > 0 {
+		_ = cw.conn.SetWriteDeadline(time.Now().Add(cw.timeout))
+	}
+}
+
+// finish records a write failure and closes the connection so the
+// reader goroutine unblocks promptly. Must hold mu.
+func (cw *connWriter) finish() error {
+	if cw.err != nil {
+		cw.conn.Close()
+	}
+	return cw.err
+}
+
+// encode appends one response to the buffer without flushing (a full
+// buffer may still spill to the socket under the armed deadline).
+func (cw *connWriter) encode(resp wireResponse) error {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	if cw.err != nil {
+		return cw.err
+	}
+	cw.arm()
+	cw.err = cw.enc.Encode(resp)
+	return cw.finish()
+}
+
+// flush pushes buffered responses to the socket.
+func (cw *connWriter) flush() error {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	if cw.err != nil {
+		return cw.err
+	}
+	cw.arm()
+	cw.err = cw.bw.Flush()
+	return cw.finish()
+}
+
+// send encodes and flushes one response (inline path).
+func (cw *connWriter) send(resp wireResponse) error {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	if cw.err != nil {
+		return cw.err
+	}
+	cw.arm()
+	if cw.err = cw.enc.Encode(resp); cw.err != nil {
+		return cw.finish()
+	}
+	cw.err = cw.bw.Flush()
+	return cw.finish()
+}
+
 // Server exposes a Broker over TCP with a newline-delimited JSON
-// protocol: one request object per line, one response object per line.
+// protocol: one request object per line, one response object per line
+// (responses to pipelined batched requests may be reordered; match by
+// ID).
 type Server struct {
-	b    *Broker
-	mgr  Manager // optional job-submission backend
-	ln   net.Listener
-	opts ServerOptions
+	b       *Broker
+	mgr     Manager // optional job-submission backend
+	ln      net.Listener
+	opts    ServerOptions
+	batcher *Batcher // nil when Batching is off
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
+
+	dirtyMu sync.Mutex
+	dirty   map[*connWriter]struct{}
 }
 
 // NewServer starts serving b on addr (e.g. "127.0.0.1:7077"; use port 0
@@ -90,13 +233,32 @@ func NewManagedServer(b *Broker, mgr Manager, addr string) (*Server, error) {
 	return NewServerOpts(b, mgr, addr, ServerOptions{})
 }
 
-// NewServerOpts is NewManagedServer with explicit protocol limits.
+// NewServerOpts is NewManagedServer with explicit protocol limits and
+// optional batching.
 func NewServerOpts(b *Broker, mgr Manager, addr string, opts ServerOptions) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("broker: listen %s: %w", addr, err)
 	}
-	s := &Server{b: b, mgr: mgr, ln: ln, opts: opts.withDefaults(), conns: make(map[net.Conn]struct{})}
+	s := &Server{
+		b: b, mgr: mgr, ln: ln, opts: opts.withDefaults(),
+		conns: make(map[net.Conn]struct{}),
+		dirty: make(map[*connWriter]struct{}),
+	}
+	if opts.Batching != nil {
+		bo := *opts.Batching
+		// Chain the server's per-batch connection flush after any caller
+		// hook so buffered batch responses always reach the socket.
+		caller := bo.AfterBatch
+		bo.AfterBatch = func() {
+			if caller != nil {
+				caller()
+			}
+			s.flushDirty()
+		}
+		s.batcher = NewBatcher(b, mgr, bo)
+		s.batcher.Start()
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -104,6 +266,10 @@ func NewServerOpts(b *Broker, mgr Manager, addr string, opts ServerOptions) (*Se
 
 // Addr returns the server's listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Batcher returns the server's batched front door, or nil when batching
+// is off (diagnostic/test access to queue depth).
+func (s *Server) Batcher() *Batcher { return s.batcher }
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
@@ -125,6 +291,24 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// markDirty registers a connection writer holding unflushed batch
+// responses; flushDirty runs at the end of every batch.
+func (s *Server) markDirty(cw *connWriter) {
+	s.dirtyMu.Lock()
+	s.dirty[cw] = struct{}{}
+	s.dirtyMu.Unlock()
+}
+
+func (s *Server) flushDirty() {
+	s.dirtyMu.Lock()
+	dirty := s.dirty
+	s.dirty = make(map[*connWriter]struct{})
+	s.dirtyMu.Unlock()
+	for cw := range dirty {
+		_ = cw.flush() // write errors surface as the conn's read loop exits
+	}
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -141,7 +325,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		bufCap = s.opts.MaxLineBytes
 	}
 	scanner.Buffer(make([]byte, 0, bufCap), s.opts.MaxLineBytes)
-	enc := json.NewEncoder(conn)
+	cw := newConnWriter(conn, s.opts.WriteTimeout)
 	for {
 		if s.opts.ReadTimeout > 0 {
 			_ = conn.SetReadDeadline(time.Now().Add(s.opts.ReadTimeout))
@@ -150,7 +334,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			// An over-long line is a protocol violation, not a transport
 			// failure: answer it once, then close cleanly.
 			if errors.Is(scanner.Err(), bufio.ErrTooLong) {
-				_ = enc.Encode(wireResponse{Error: fmt.Sprintf("bad request: line exceeds %d bytes", s.opts.MaxLineBytes)})
+				_ = cw.send(wireResponse{Error: fmt.Sprintf("bad request: line exceeds %d bytes", s.opts.MaxLineBytes)})
 			}
 			return
 		}
@@ -159,14 +343,97 @@ func (s *Server) serveConn(conn net.Conn) {
 			continue
 		}
 		var req wireRequest
-		var resp wireResponse
 		if err := json.Unmarshal(line, &req); err != nil {
-			resp = wireResponse{Error: fmt.Sprintf("bad request: %v", err)}
-		} else {
-			resp = s.handle(req)
+			if cw.send(wireResponse{Error: fmt.Sprintf("bad request: %v", err)}) != nil {
+				return
+			}
+			continue
 		}
-		if err := enc.Encode(resp); err != nil {
+		if s.batcher != nil && (req.Action == "allocate" || req.Action == "submit") {
+			s.dispatchBatched(cw, req)
+			continue
+		}
+		resp := s.handle(req)
+		resp.ID = req.ID
+		if cw.send(resp) != nil {
 			return
+		}
+	}
+}
+
+// dispatchBatched admits one allocate/submit request into the batcher.
+// The response is written by the batch that serves it; sheds and
+// enqueue failures are answered immediately. The reader goroutine never
+// blocks on pricing, which is what lets one connection pipeline many
+// requests.
+func (s *Server) dispatchBatched(cw *connWriter, req wireRequest) {
+	if s.opts.MaxInflight > 0 && cw.inflight.Load() >= int64(s.opts.MaxInflight) {
+		s.b.obs.Counter("broker.admit.shed.total").Inc()
+		s.b.obs.Counter("broker.admit.shed.inflight").Inc()
+		_ = cw.send(shedResponse(req.ID, &ShedError{
+			Tenant: req.Tenant, RetryAfter: 10 * time.Millisecond, Reason: "inflight",
+		}))
+		return
+	}
+	id := req.ID
+	var err error
+	switch req.Action {
+	case "allocate":
+		cw.inflight.Add(1)
+		err = s.batcher.EnqueueAllocate(req.Tenant, req.Request, func(resp Response, aerr error) {
+			defer cw.inflight.Add(-1)
+			wr := wireResponse{ID: id}
+			switch {
+			case errors.Is(aerr, ErrShed) || errors.Is(aerr, ErrBatcherClosed):
+				wr.Error = aerr.Error()
+				wr.Shed = errors.Is(aerr, ErrShed)
+			case aerr != nil:
+				wr.Error = aerr.Error()
+			default:
+				r := resp
+				wr.OK = true
+				wr.Response = &r
+			}
+			if cw.encode(wr) == nil {
+				s.markDirty(cw)
+			}
+		})
+		if err != nil {
+			cw.inflight.Add(-1)
+		}
+	case "submit":
+		if s.mgr == nil {
+			_ = cw.send(wireResponse{ID: id, Error: errNoManager.Error()})
+			return
+		}
+		if req.Submit == nil {
+			_ = cw.send(wireResponse{ID: id, Error: "submit action without submit payload"})
+			return
+		}
+		cw.inflight.Add(1)
+		err = s.batcher.EnqueueSubmit(req.Tenant, *req.Submit, func(jobID int, serr error) {
+			defer cw.inflight.Add(-1)
+			wr := wireResponse{ID: id}
+			if serr != nil {
+				wr.Error = serr.Error()
+			} else {
+				wr.OK = true
+				wr.JobID = jobID
+			}
+			if cw.encode(wr) == nil {
+				s.markDirty(cw)
+			}
+		})
+		if err != nil {
+			cw.inflight.Add(-1)
+		}
+	}
+	if err != nil {
+		var shed *ShedError
+		if errors.As(err, &shed) {
+			_ = cw.send(shedResponse(id, shed))
+		} else {
+			_ = cw.send(wireResponse{ID: id, Error: err.Error()})
 		}
 	}
 }
@@ -194,7 +461,7 @@ func (s *Server) handle(req wireRequest) wireResponse {
 		return wireResponse{OK: true, Decisions: recs}
 	case "submit":
 		if s.mgr == nil {
-			return wireResponse{Error: "server has no job manager"}
+			return wireResponse{Error: errNoManager.Error()}
 		}
 		if req.Submit == nil {
 			return wireResponse{Error: "submit action without submit payload"}
@@ -206,7 +473,7 @@ func (s *Server) handle(req wireRequest) wireResponse {
 		return wireResponse{OK: true, JobID: id}
 	case "job":
 		if s.mgr == nil {
-			return wireResponse{Error: "server has no job manager"}
+			return wireResponse{Error: errNoManager.Error()}
 		}
 		info, ok := s.mgr.Status(req.JobID)
 		if !ok {
@@ -215,7 +482,7 @@ func (s *Server) handle(req wireRequest) wireResponse {
 		return wireResponse{OK: true, Job: &info}
 	case "queue":
 		if s.mgr == nil {
-			return wireResponse{Error: "server has no job manager"}
+			return wireResponse{Error: errNoManager.Error()}
 		}
 		qs := s.mgr.QueueStats()
 		return wireResponse{OK: true, Queue: &qs}
@@ -224,7 +491,21 @@ func (s *Server) handle(req wireRequest) wireResponse {
 	}
 }
 
-// Close stops accepting and tears down open connections.
+// DisconnectAll closes every open connection without stopping the
+// listener — a chaos/test hook standing in for a network blip between
+// clients and the broker. Clients with pooled connections are expected
+// to redial and carry on.
+func (s *Server) DisconnectAll() {
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+}
+
+// Close stops accepting, shuts down the batcher (answering still-queued
+// requests with ErrBatcherClosed while their connections are open), and
+// tears down open connections.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -232,162 +513,18 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	if s.batcher != nil {
+		// Batches in flight complete and their responses flush to
+		// still-open connections; the queue drains with errors.
+		s.batcher.Close()
+	}
+	s.mu.Lock()
 	for c := range s.conns {
 		c.Close()
 	}
 	s.mu.Unlock()
-	err := s.ln.Close()
 	s.wg.Wait()
 	return err
 }
-
-// Client talks to a broker Server.
-type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *json.Encoder
-	sc   *bufio.Scanner
-}
-
-// Dial connects to a broker server at addr.
-func Dial(addr string, timeout time.Duration) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
-	if err != nil {
-		return nil, fmt.Errorf("broker: dial %s: %w", addr, err)
-	}
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	return &Client{conn: conn, enc: json.NewEncoder(conn), sc: sc}, nil
-}
-
-func (c *Client) roundTrip(req wireRequest) (wireResponse, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.enc.Encode(req); err != nil {
-		return wireResponse{}, fmt.Errorf("broker: send: %w", err)
-	}
-	if !c.sc.Scan() {
-		if err := c.sc.Err(); err != nil {
-			return wireResponse{}, fmt.Errorf("broker: recv: %w", err)
-		}
-		return wireResponse{}, errors.New("broker: connection closed")
-	}
-	var resp wireResponse
-	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
-		return wireResponse{}, fmt.Errorf("broker: decode: %w", err)
-	}
-	return resp, nil
-}
-
-// Allocate requests an allocation.
-func (c *Client) Allocate(req Request) (Response, error) {
-	resp, err := c.roundTrip(wireRequest{Action: "allocate", Request: req})
-	if err != nil {
-		return Response{}, err
-	}
-	if resp.Error != "" {
-		return Response{}, errors.New(resp.Error)
-	}
-	if resp.Response == nil {
-		return Response{}, errors.New("broker: empty response")
-	}
-	return *resp.Response, nil
-}
-
-// Policies lists the server's registered policies.
-func (c *Client) Policies() ([]string, error) {
-	resp, err := c.roundTrip(wireRequest{Action: "policies"})
-	if err != nil {
-		return nil, err
-	}
-	if resp.Error != "" {
-		return nil, errors.New(resp.Error)
-	}
-	return resp.Policies, nil
-}
-
-// Health checks the server is alive.
-func (c *Client) Health() error {
-	resp, err := c.roundTrip(wireRequest{Action: "health"})
-	if err != nil {
-		return err
-	}
-	if resp.Error != "" {
-		return errors.New(resp.Error)
-	}
-	return nil
-}
-
-// Submit queues a job on a managed server and returns its ID.
-func (c *Client) Submit(req SubmitRequest) (int, error) {
-	resp, err := c.roundTrip(wireRequest{Action: "submit", Submit: &req})
-	if err != nil {
-		return 0, err
-	}
-	if resp.Error != "" {
-		return 0, errors.New(resp.Error)
-	}
-	return resp.JobID, nil
-}
-
-// JobStatus fetches a submitted job's state.
-func (c *Client) JobStatus(id int) (JobInfo, error) {
-	resp, err := c.roundTrip(wireRequest{Action: "job", JobID: id})
-	if err != nil {
-		return JobInfo{}, err
-	}
-	if resp.Error != "" {
-		return JobInfo{}, errors.New(resp.Error)
-	}
-	if resp.Job == nil {
-		return JobInfo{}, errors.New("broker: empty job status")
-	}
-	return *resp.Job, nil
-}
-
-// QueueStats fetches the managed server's queue counters.
-func (c *Client) QueueStats() (QueueStats, error) {
-	resp, err := c.roundTrip(wireRequest{Action: "queue"})
-	if err != nil {
-		return QueueStats{}, err
-	}
-	if resp.Error != "" {
-		return QueueStats{}, errors.New(resp.Error)
-	}
-	if resp.Queue == nil {
-		return QueueStats{}, errors.New("broker: empty queue stats")
-	}
-	return *resp.Queue, nil
-}
-
-// Metrics fetches the server's instrumentation snapshot and its
-// deterministic text rendering.
-func (c *Client) Metrics() (*obs.Snapshot, string, error) {
-	resp, err := c.roundTrip(wireRequest{Action: "metrics"})
-	if err != nil {
-		return nil, "", err
-	}
-	if resp.Error != "" {
-		return nil, "", errors.New(resp.Error)
-	}
-	if resp.Metrics == nil {
-		return nil, "", errors.New("broker: empty metrics")
-	}
-	return resp.Metrics, resp.MetricsText, nil
-}
-
-// Decisions fetches the most recent limit allocation decision records
-// (0 = all the server retains), oldest first.
-func (c *Client) Decisions(limit int) ([]DecisionRecord, error) {
-	resp, err := c.roundTrip(wireRequest{Action: "decisions", Limit: limit})
-	if err != nil {
-		return nil, err
-	}
-	if resp.Error != "" {
-		return nil, errors.New(resp.Error)
-	}
-	return resp.Decisions, nil
-}
-
-// Close closes the client connection.
-func (c *Client) Close() error { return c.conn.Close() }

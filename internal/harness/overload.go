@@ -1,0 +1,400 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"nlarm/internal/broker"
+	"nlarm/internal/cluster"
+	"nlarm/internal/monitor"
+	"nlarm/internal/obs"
+	"nlarm/internal/rng"
+	"nlarm/internal/simtime"
+	"nlarm/internal/store"
+	"nlarm/internal/world"
+)
+
+// OverloadTenant is one synthetic client population in the overload
+// scenario.
+type OverloadTenant struct {
+	// Name labels the tenant on the wire and in metrics.
+	Name string
+	// PerRound is how many allocation requests the tenant offers every
+	// round.
+	PerRound int
+}
+
+// OverloadConfig parameterizes the overload chaos scenario: a seeded
+// multi-tenant burst generator drives the batched front door far past
+// its admission limits while store faults degrade the monitoring data
+// underneath it. Zero fields take defaults tuned so admission sheds
+// heavily, the meek tenant is never starved, and a mid-run monitoring
+// blackout forces degraded serves without ever tripping the degraded
+// ceiling.
+type OverloadConfig struct {
+	// Seed drives the world, the request stream, and the store faults.
+	Seed uint64
+	// Rounds is the number of offer/flush rounds (default 30).
+	Rounds int
+	// RoundStep is the virtual time between rounds (default 2s) — it
+	// refills token buckets and lets the monitor republish.
+	RoundStep time.Duration
+	// Tenants is the offered load mix (default: hog at 40/round, meek at
+	// 4/round — a 10:1 ratio against a much smaller admitted capacity).
+	Tenants []OverloadTenant
+	// MaxBatch caps one flush (default 16, so backlogs persist across
+	// rounds and fairness is actually contested).
+	MaxBatch int
+	// Admission is the front-door config (default: rate 8/s, burst 8,
+	// queue depth 32 per tenant).
+	Admission broker.AdmissionConfig
+	// BlackoutRounds is how many mid-run rounds reject every monitoring
+	// write so snapshots age past SnapshotMaxAge and the broker must
+	// serve degraded from last-good (default 8).
+	BlackoutRounds int
+	// SnapshotMaxAge is the broker staleness threshold (default 10s, well
+	// under the default blackout length so degradation provably engages).
+	SnapshotMaxAge time.Duration
+	// MaxDegradedFraction is the ceiling on degraded serves as a fraction
+	// of all served requests (default 0.5: degradation is expected during
+	// the blackout, but fresh serves must dominate the run).
+	MaxDegradedFraction float64
+	// Driver selects how the scenario advances virtual time (default
+	// SteppedDriver).
+	Driver Driver
+}
+
+func (c OverloadConfig) withDefaults() OverloadConfig {
+	if c.Rounds <= 0 {
+		c.Rounds = 30
+	}
+	if c.RoundStep <= 0 {
+		c.RoundStep = 2 * time.Second
+	}
+	if len(c.Tenants) == 0 {
+		c.Tenants = []OverloadTenant{{Name: "hog", PerRound: 40}, {Name: "meek", PerRound: 4}}
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
+	}
+	if c.Admission.TenantRate == 0 {
+		c.Admission = broker.AdmissionConfig{TenantRate: 8, TenantBurst: 8, QueueDepth: 32}
+	}
+	if c.BlackoutRounds <= 0 {
+		c.BlackoutRounds = 8
+	}
+	if c.SnapshotMaxAge <= 0 {
+		c.SnapshotMaxAge = 10 * time.Second
+	}
+	if c.MaxDegradedFraction <= 0 {
+		c.MaxDegradedFraction = 0.5
+	}
+	return c
+}
+
+// OverloadReport is the outcome of RunOverload: exact request
+// accounting, per-tenant service, and every invariant check.
+type OverloadReport struct {
+	Seed uint64
+
+	// Offered = Admitted + Shed, exactly; Served + Failed = Admitted,
+	// exactly — every request is accounted for, none answered twice.
+	Offered  int
+	Admitted int
+	Shed     int
+	Served   int
+	Failed   int
+	// Degraded counts served responses priced from the last-good snapshot
+	// (monitoring blackout); RateSheds/QueueSheds split Shed by reason.
+	Degraded   int
+	RateSheds  int
+	QueueSheds int
+
+	ServedByTenant map[string]int
+	ShedByTenant   map[string]int
+
+	StoreFaults uint64
+	Checks      []ChaosCheck
+
+	// Metrics is the shared registry's final snapshot; the scenario's
+	// core invariant is that these counters reconcile exactly with the
+	// callback-side accounting above.
+	Metrics     *obs.Snapshot
+	MetricsText string
+}
+
+// Violations returns the names and notes of every failed check.
+func (r *OverloadReport) Violations() []string {
+	var v []string
+	for _, c := range r.Checks {
+		if !c.Ok {
+			v = append(v, fmt.Sprintf("%v %s: %s", c.At, c.Name, c.Note))
+		}
+	}
+	return v
+}
+
+// Ok reports whether every invariant held.
+func (r *OverloadReport) Ok() bool { return len(r.Violations()) == 0 }
+
+// Render formats the report deterministically; two same-seed runs must
+// produce identical bytes.
+func (r *OverloadReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "overload seed=%d checks=%d\n", r.Seed, len(r.Checks))
+	fmt.Fprintf(&b, "requests offered=%d admitted=%d shed=%d (rate=%d queue=%d) served=%d failed=%d degraded=%d\n",
+		r.Offered, r.Admitted, r.Shed, r.RateSheds, r.QueueSheds, r.Served, r.Failed, r.Degraded)
+	var tenants []string
+	for t := range r.ServedByTenant {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	for _, t := range tenants {
+		fmt.Fprintf(&b, "tenant %s served=%d shed=%d\n", t, r.ServedByTenant[t], r.ShedByTenant[t])
+	}
+	fmt.Fprintf(&b, "store faults=%d\n", r.StoreFaults)
+	for _, c := range r.Checks {
+		status := "ok"
+		if !c.Ok {
+			status = "VIOLATION"
+		}
+		fmt.Fprintf(&b, "check %v %s %s %s\n", c.At, c.Name, status, c.Note)
+	}
+	if r.MetricsText != "" {
+		b.WriteString("metrics:\n")
+		for _, line := range strings.Split(strings.TrimRight(r.MetricsText, "\n"), "\n") {
+			fmt.Fprintf(&b, "  %s\n", line)
+		}
+	}
+	return b.String()
+}
+
+// Digest hashes Render with FNV-1a, giving tests a one-number
+// reproducibility witness.
+func (r *OverloadReport) Digest() uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for _, c := range []byte(r.Render()) {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}
+
+// RunOverload drives the batched, admission-controlled front door
+// through a seeded overload burst with a mid-run monitoring blackout,
+// and verifies the books balance exactly:
+//
+//   - offered == admitted + shed, and served + failed == admitted —
+//     every request gets exactly one answer, enqueue-time or batch-time
+//   - the obs admission/batch counters match the callback-side counts
+//     (total, per shed reason, and per tenant)
+//   - no admitted request fails: degradation falls back to the last-good
+//     snapshot instead of erroring
+//   - degraded serves stay under MaxDegradedFraction, and every degraded
+//     response names a reason
+//   - every shed carries a positive retry-after hint
+//   - the meek tenant is never starved: its served share is at least
+//     half its fair share despite the 10:1 offered-load imbalance
+//   - the queue fully drains and the depth gauge ends at zero
+func RunOverload(cfg OverloadConfig) (*OverloadReport, error) {
+	cfg = cfg.withDefaults()
+	report := &OverloadReport{
+		Seed:           cfg.Seed,
+		ServedByTenant: map[string]int{},
+		ShedByTenant:   map[string]int{},
+	}
+
+	cl, err := cluster.BuildUniform(2, 4, 8, 3.0, 8192)
+	if err != nil {
+		return nil, err
+	}
+	drv := defaultDriver(cfg.Driver)
+	sched := simtime.NewScheduler(defaultEpoch)
+	w := world.New(cl, world.Config{Seed: cfg.Seed}, defaultEpoch)
+	stopWorld := w.Attach(sched)
+	defer stopWorld()
+
+	reg := obs.NewRegistry()
+	fs := store.NewFault(store.NewMem(), cfg.Seed^0xbf58476d1ce4e5b9)
+	fs.SetScope(monitor.KeyLivehostsPrefix, monitor.KeyNodeStatePrefix, "latency/", "bandwidth/")
+	vst := store.Version(store.Instrument(fs, reg, sched.Now))
+
+	mcfg := chaosMonitorConfig()
+	mcfg.Obs = reg
+	mgr := monitor.NewManager(&monitor.WorldProber{W: w}, vst, mcfg)
+	if err := mgr.Start(sched); err != nil {
+		return nil, err
+	}
+	defer mgr.Stop()
+
+	b := broker.New(vst, sched, broker.Config{
+		Seed:            cfg.Seed + 7,
+		WaitLoadPerCore: 100,
+		SnapshotMaxAge:  cfg.SnapshotMaxAge,
+		Obs:             reg,
+	})
+	bt := broker.NewBatcher(b, nil, broker.BatcherOptions{
+		MaxBatch:  cfg.MaxBatch,
+		Admission: cfg.Admission,
+	})
+	defer bt.Close()
+
+	// Warm up with faults quiet so the broker holds a healthy last-good
+	// snapshot before the storm starts.
+	drv.Run(sched, 30*time.Second)
+	if _, err := b.Allocate(broker.Request{Procs: 4, Force: true}); err != nil {
+		return nil, fmt.Errorf("harness: overload warm-up allocation failed: %w", err)
+	}
+	fs.SetRates(store.Rates{TornWrite: 0.02, StaleRead: 0.05})
+
+	start := sched.Now()
+	offset := func() time.Duration { return sched.Now().Sub(start) }
+	check := func(name string, ok bool, note string) {
+		report.Checks = append(report.Checks, ChaosCheck{At: offset(), Name: name, Ok: ok, Note: note})
+	}
+
+	// The blackout sits mid-run: every monitoring Put is rejected outright
+	// (PutError, not TornWrite — torn writes persist the value, so data
+	// would stay fresh) long enough that node records age past
+	// SnapshotMaxAge and the broker must serve degraded.
+	blackoutFrom := (cfg.Rounds - cfg.BlackoutRounds) / 2
+	blackoutTo := blackoutFrom + cfg.BlackoutRounds
+
+	rnd := rng.New(cfg.Seed * 31)
+	shapes := [3]broker.Request{
+		{Procs: 4, PPN: 4, Force: true},
+		{Procs: 8, PPN: 4, Force: true},
+		{Procs: 2, PPN: 2, Force: true},
+	}
+	badRetry, badReason, degradedUnnamed := 0, 0, 0
+	for round := 0; round < cfg.Rounds; round++ {
+		if round == blackoutFrom {
+			fs.SetRates(store.Rates{PutError: 1})
+		}
+		if round == blackoutTo {
+			fs.SetRates(store.Rates{TornWrite: 0.02, StaleRead: 0.05})
+		}
+		drv.Run(sched, cfg.RoundStep)
+		for _, tn := range cfg.Tenants {
+			tenant := tn.Name
+			for i := 0; i < tn.PerRound; i++ {
+				report.Offered++
+				req := shapes[rnd.Uint64()%3]
+				err := bt.EnqueueAllocate(tenant, req, func(resp broker.Response, err error) {
+					if err != nil {
+						report.Failed++
+						return
+					}
+					report.Served++
+					report.ServedByTenant[tenant]++
+					if resp.Degraded {
+						report.Degraded++
+						if resp.DegradedReason == "" {
+							degradedUnnamed++
+						}
+					}
+				})
+				if err == nil {
+					report.Admitted++
+					continue
+				}
+				shed, ok := err.(*broker.ShedError)
+				if !ok {
+					return nil, fmt.Errorf("harness: enqueue failed with non-shed error: %w", err)
+				}
+				report.Shed++
+				report.ShedByTenant[tenant]++
+				switch shed.Reason {
+				case "rate":
+					report.RateSheds++
+				case "queue-full":
+					report.QueueSheds++
+				default:
+					badReason++
+				}
+				if shed.RetryAfter <= 0 {
+					badRetry++
+				}
+			}
+		}
+		bt.Flush()
+	}
+	// Drain the backlog: every admitted request must get its answer.
+	for bt.QueueDepth() > 0 {
+		bt.Flush()
+	}
+
+	// Exact request accounting — the front door loses nothing and answers
+	// nothing twice.
+	check("books-balance", report.Offered == report.Admitted+report.Shed,
+		fmt.Sprintf("offered=%d admitted=%d shed=%d", report.Offered, report.Admitted, report.Shed))
+	check("callbacks-complete", report.Served+report.Failed == report.Admitted,
+		fmt.Sprintf("served=%d failed=%d admitted=%d", report.Served, report.Failed, report.Admitted))
+	check("no-hard-failures", report.Failed == 0,
+		fmt.Sprintf("failed=%d (degradation must fall back, not error)", report.Failed))
+	check("sheds-carry-retry-hint", badRetry == 0, fmt.Sprintf("sheds without hint=%d", badRetry))
+	check("shed-reasons-known", badReason == 0 && report.RateSheds+report.QueueSheds == report.Shed,
+		fmt.Sprintf("rate=%d queue=%d unknown=%d of %d", report.RateSheds, report.QueueSheds, badReason, report.Shed))
+	check("queue-drained", bt.QueueDepth() == 0, fmt.Sprintf("depth=%d", bt.QueueDepth()))
+
+	// Degradation engaged during the blackout, named its reason every
+	// time, and never dominated the run.
+	check("degradation-engaged", report.Degraded > 0,
+		fmt.Sprintf("degraded=%d (blackout rounds %d..%d)", report.Degraded, blackoutFrom, blackoutTo))
+	check("degraded-reasons-named", degradedUnnamed == 0, fmt.Sprintf("unnamed=%d", degradedUnnamed))
+	frac := 0.0
+	if report.Served > 0 {
+		frac = float64(report.Degraded) / float64(report.Served)
+	}
+	check("degraded-under-ceiling", frac <= cfg.MaxDegradedFraction,
+		fmt.Sprintf("fraction=%.3f ceiling=%.3f", frac, cfg.MaxDegradedFraction))
+
+	// Fairness under the overload: the meek tenant's service may not fall
+	// below half its equal share of total served throughput.
+	if len(cfg.Tenants) > 1 {
+		fairShare := float64(report.Served) / float64(len(cfg.Tenants))
+		for _, tn := range cfg.Tenants {
+			got := float64(report.ServedByTenant[tn.Name])
+			offered := float64(tn.PerRound * cfg.Rounds)
+			want := fairShare / 2
+			if offered < want {
+				want = offered // can't serve more than was asked
+			}
+			check("tenant-not-starved-"+tn.Name, got >= want,
+				fmt.Sprintf("served=%.0f floor=%.0f fairShare=%.1f", got, want, fairShare))
+		}
+	}
+
+	// Reconcile the obs counters with the callback-side accounting: both
+	// paths count independently, so any drift is a bookkeeping bug.
+	report.StoreFaults = fs.TotalFaults()
+	store.SyncFaults(fs, reg)
+	report.Metrics = reg.Snapshot()
+	report.MetricsText = report.Metrics.Render()
+	ctr := report.Metrics.Counters
+	checkCounter := func(name string, want uint64) {
+		got := ctr[name]
+		check("obs-"+name, got == want, fmt.Sprintf("counter=%d want=%d", got, want))
+	}
+	checkCounter("broker.admit.admitted.total", uint64(report.Admitted))
+	checkCounter("broker.admit.shed.total", uint64(report.Shed))
+	checkCounter("broker.admit.shed.rate", uint64(report.RateSheds))
+	checkCounter("broker.admit.shed.queue-full", uint64(report.QueueSheds))
+	for _, tn := range cfg.Tenants {
+		checkCounter("broker.batch.served.tenant."+tn.Name, uint64(report.ServedByTenant[tn.Name]))
+		checkCounter("broker.admit.shed.tenant."+tn.Name, uint64(report.ShedByTenant[tn.Name]))
+	}
+	// The warm-up allocation went through Allocate directly, not the
+	// batcher, and it was served fresh — so the broker's degraded counter
+	// must equal the batch-side degraded count exactly.
+	checkCounter("broker.allocate.degraded", uint64(report.Degraded))
+	depthGauge := report.Metrics.Gauges["broker.admit.queue.depth"]
+	check("obs-queue-depth-zero", depthGauge == 0, fmt.Sprintf("gauge=%v", depthGauge))
+	check("store-faults-injected", report.StoreFaults > 0,
+		fmt.Sprintf("faults=%d", report.StoreFaults))
+
+	return report, nil
+}

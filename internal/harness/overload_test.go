@@ -1,0 +1,60 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestOverloadChaosScenario runs the overload scenario across the chaos
+// seed set and requires every invariant to hold, plus scenario-shape
+// floors: admission actually shed heavily (the burst was a real
+// overload), degradation actually engaged (the blackout bit), and both
+// tenants were served.
+func TestOverloadChaosScenario(t *testing.T) {
+	for _, seed := range chaosSeeds() {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rep, err := RunOverload(OverloadConfig{Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Ok() {
+				t.Fatalf("invariant violations:\n%s\n\nfull report:\n%s",
+					rep.Violations(), rep.Render())
+			}
+			if rep.Shed*4 < rep.Offered {
+				t.Fatalf("only %d of %d offered requests shed; the burst never overloaded admission", rep.Shed, rep.Offered)
+			}
+			if rep.Degraded == 0 {
+				t.Fatal("monitoring blackout produced no degraded serves")
+			}
+			for tenant, served := range rep.ServedByTenant {
+				if served == 0 {
+					t.Fatalf("tenant %s starved:\n%s", tenant, rep.Render())
+				}
+			}
+		})
+	}
+}
+
+// TestOverloadScenarioDeterministic: the overload report (request
+// accounting, checks, rendered metrics) is byte-identical across
+// same-seed runs and differs across seeds.
+func TestOverloadScenarioDeterministic(t *testing.T) {
+	run := func(seed uint64) *OverloadReport {
+		rep, err := RunOverload(OverloadConfig{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(7), run(7)
+	if a.Render() != b.Render() {
+		t.Fatalf("same-seed runs diverged:\n--- run1 ---\n%s\n--- run2 ---\n%s", a.Render(), b.Render())
+	}
+	if a.Digest() != b.Digest() {
+		t.Fatalf("digest mismatch: %x vs %x", a.Digest(), b.Digest())
+	}
+	if c := run(8); c.Render() == a.Render() {
+		t.Fatal("different seeds produced identical runs")
+	}
+}
