@@ -536,6 +536,85 @@ func BenchmarkSimMillionJobs(b *testing.B) {
 	}
 }
 
+// BenchmarkSimPolicy1024 measures the policy-fidelity simulator: every
+// job start placed by Algorithms 1-2 over one in-place-refreshed cost
+// model on a 1024-node cluster. The capacity sub-benchmark runs the
+// identical scenario with placement off, so jobs/s(capacity) over
+// jobs/s(policy) is exactly the cost of full placement fidelity.
+func BenchmarkSimPolicy1024(b *testing.B) {
+	base := sim.ScenarioConfig{
+		Seed:         4,
+		Nodes:        1024,
+		CoresPerNode: 8,
+		Workload:     sim.ScaledWorkload(20_000, 1024, 0.65),
+		Discipline:   sim.EASY,
+	}
+	for _, mode := range []string{"capacity", "policy"} {
+		cfg := base
+		if mode == "policy" {
+			cfg.Policy = &sim.PolicyConfig{}
+		}
+		b.Run(mode, func(b *testing.B) {
+			b.ReportAllocs()
+			var digest string
+			for i := 0; i < b.N; i++ {
+				res, err := sim.RunScenario(cfg, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if digest == "" {
+					digest = res.Digest
+				} else if res.Digest != digest {
+					b.Fatalf("digest drifted across iterations")
+				}
+				if mode == "policy" && (res.Policy == nil || res.Policy.ModelBuilds != 1) {
+					b.Fatalf("policy run rebuilt its model: %+v", res.Policy)
+				}
+				b.ReportMetric(float64(res.Completed)/res.WallTime.Seconds(), "jobs/s")
+			}
+		})
+	}
+}
+
+// BenchmarkSimSweep fans a fixed 8-config sweep across 1, 2, 4, and 8
+// workers, asserting the aggregate digest never moves. On multi-core
+// hosts the jobs/s metric exposes the scaling curve; on single-core CI
+// the sub-benchmarks coincide and only the determinism assertion bites.
+func BenchmarkSimSweep(b *testing.B) {
+	var cfgs []sim.ScenarioConfig
+	for seed := uint64(1); seed <= 8; seed++ {
+		cfgs = append(cfgs, sim.ScenarioConfig{
+			Seed:         seed,
+			Nodes:        256,
+			CoresPerNode: 8,
+			Workload:     sim.ScaledWorkload(10_000, 256, 0.65),
+			Discipline:   sim.EASY,
+		})
+	}
+	var digest string
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sw, err := sim.RunMany(cfgs, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if digest == "" {
+					digest = sw.Digest
+				} else if sw.Digest != digest {
+					b.Fatalf("sweep digest moved with %d workers", workers)
+				}
+				jobs := 0
+				for _, res := range sw.Results {
+					jobs += res.Completed
+				}
+				b.ReportMetric(float64(jobs)/sw.WallTime.Seconds(), "jobs/s")
+			}
+		})
+	}
+}
+
 // benchBrokerServer wires a monitored 8-node stack (the broker package's
 // standard test rig) behind a TCP server. Virtual time is frozen during
 // the measurement, so every request prices against one warm snapshot

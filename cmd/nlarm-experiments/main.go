@@ -30,7 +30,7 @@ import (
 
 func main() {
 	var (
-		run     = flag.String("run", "all", "artifact to regenerate (all, fig1, fig2, fig4, fig5, table2, fig6, table3, table4, fig7, cov, ablation, multicluster, predict, cosched, backfill, sim)")
+		run     = flag.String("run", "all", "artifact to regenerate (all, fig1, fig2, fig4, fig5, table2, fig6, table3, table4, fig7, cov, ablation, multicluster, predict, cosched, backfill, sim, sweep)")
 		seed    = flag.Uint64("seed", 42, "simulation seed")
 		quick   = flag.Bool("quick", false, "reduced problem sizes and repeats")
 		csv     = flag.String("csv", "", "directory to also write CSV tables into")
@@ -40,8 +40,12 @@ func main() {
 		simJobs  = flag.Int("sim-jobs", 100000, "sim: total jobs to generate")
 		simNodes = flag.Int("sim-nodes", 1024, "sim: cluster size in nodes")
 		simUtil  = flag.Float64("sim-util", 0.65, "sim: target offered load (0-1) for the canned workload")
-		simSpec  = flag.String("sim-spec", "", "sim: JSON workload spec file (overrides -sim-jobs/-sim-util sizing)")
-		simTrace = flag.String("sim-trace", "", "sim: write the job trace (replayable with nlarm-replay -trace) to this file")
+		simSpec   = flag.String("sim-spec", "", "sim: JSON workload spec file (overrides -sim-jobs/-sim-util sizing)")
+		simTrace  = flag.String("sim-trace", "", "sim: write the job trace (replayable with nlarm-replay -trace) to this file")
+		simPolicy = flag.Bool("sim-policy", false, "sim/sweep: run at policy fidelity (per-job placement over one live cost model)")
+
+		sweepSeeds   = flag.Int("sweep-seeds", 8, "sweep: number of consecutive seeds starting at -seed")
+		sweepWorkers = flag.Int("sweep-workers", 0, "sweep: RunMany worker bound (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -231,18 +235,39 @@ func main() {
 	}
 
 	if want("sim") {
-		if err := runSim(*seed, *simJobs, *simNodes, *simUtil, *simSpec, *simTrace, *quick); err != nil {
+		if err := runSim(*seed, *simJobs, *simNodes, *simUtil, *simSpec, *simTrace, *simPolicy, *quick); err != nil {
 			fatal(err)
 		}
+	}
+
+	if want("sweep") {
+		cfg := harness.SimSweepConfig{
+			Seed:    *seed,
+			Runs:    *sweepSeeds,
+			Nodes:   *simNodes,
+			Jobs:    *simJobs,
+			Util:    *simUtil,
+			Workers: *sweepWorkers,
+			Policy:  *simPolicy,
+		}
+		if *quick {
+			cfg.Runs, cfg.Nodes, cfg.Jobs = 4, 128, 5000
+		}
+		d, err := harness.RunSimSweep(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(harness.FormatSimSweep(d))
 	}
 
 	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
 }
 
-// runSim executes the capacity-fidelity scenario under both queue
-// disciplines and prints a comparison; the EASY run's trace optionally
-// goes to tracePath for offline replay.
-func runSim(seed uint64, jobs, nodes int, util float64, specPath, tracePath string, quick bool) error {
+// runSim executes the scenario under both queue disciplines — at
+// capacity fidelity, or with per-job placement when policy is set —
+// and prints a comparison; the EASY run's trace optionally goes to
+// tracePath for offline replay.
+func runSim(seed uint64, jobs, nodes int, util float64, specPath, tracePath string, policy, quick bool) error {
 	if quick {
 		jobs, nodes = 10000, 256
 	}
@@ -264,6 +289,9 @@ func runSim(seed uint64, jobs, nodes int, util float64, specPath, tracePath stri
 			Nodes:      nodes,
 			Workload:   wl,
 			Discipline: disc,
+		}
+		if policy {
+			cfg.Policy = &sim.PolicyConfig{}
 		}
 		var out io.Writer
 		if tracePath != "" && disc == sim.EASY {

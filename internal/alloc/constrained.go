@@ -1,0 +1,298 @@
+package alloc
+
+import (
+	"fmt"
+	"math"
+)
+
+// ConstrainedAlloc is AllocateConstrained's answer, expressed in dense
+// model indices so high-rate callers (the policy-fidelity simulator)
+// never touch node-ID maps on the hot path.
+type ConstrainedAlloc struct {
+	// Start is the winning seed's dense index (v in Algorithm 1).
+	Start int
+	// Nodes are the selected dense indices in addition order; Counts[k]
+	// ranks are placed on Nodes[k]. Both alias the scratch and are valid
+	// only until the next AllocateConstrained call with the same scratch
+	// — callers copy what they keep.
+	Nodes  []int
+	Counts []int
+	// ComputeCost is C_G = Σ CLUnit over the selection; NetworkCost is
+	// N_G = Σ pairwise NLUnit over the selection; TotalLoad is Equation 4
+	// after normalization across the generated candidates.
+	ComputeCost float64
+	NetworkCost float64
+	TotalLoad   float64
+}
+
+// AllocScratch owns the reusable buffers of one AllocateConstrained
+// caller (one simulation run or sweep worker). The zero value is ready;
+// buffers grow to the model size on first use and are reused afterwards,
+// so steady-state decisions allocate nothing.
+type AllocScratch struct {
+	gen       genScratch
+	costC     []float64
+	costN     []float64
+	allStarts []int
+	cand      []int
+	alphaCL   []float64
+}
+
+// AllocateConstrained runs Algorithms 1-2 over a prebuilt cost model
+// with caller-supplied per-node capacities and a bounded start set: the
+// seam the policy-fidelity simulator drives per scheduling decision.
+//
+// caps[i] is the rank capacity of dense index i (0 excludes the node —
+// e.g. busy under exclusive allocation), replacing the model's own
+// Equation 3 estimate. starts lists the dense indices to seed Algorithm
+// 1 at; empty means every node (the paper's exhaustive sweep — on dense
+// models then bit-identical in selection and costs to
+// AllocateExplainModel's winner). With a k-bounded start set, Algorithm
+// 2's normalization runs over those k candidates only, so the result is
+// the paper's heuristic restricted to k seeds.
+//
+// The model must already be priced with the request's weights and
+// forecast flag — this path never rebuilds a model. Results are written
+// into sc's reused buffers (see ConstrainedAlloc); the call allocates
+// nothing in steady state.
+func (p NetLoadAware) AllocateConstrained(m *CostModel, req Request, caps []int, starts []int, sc *AllocScratch) (ConstrainedAlloc, error) {
+	req, err := req.Validate()
+	if err != nil {
+		return ConstrainedAlloc{}, err
+	}
+	if !m.matches(req) {
+		return ConstrainedAlloc{}, fmt.Errorf("alloc: constrained allocate: model priced with different weights or forecast flag than the request")
+	}
+	n := m.Len()
+	if n == 0 {
+		return ConstrainedAlloc{}, fmt.Errorf("alloc: net-load-aware: no live monitored nodes")
+	}
+	if err := m.CLErr(); err != nil {
+		return ConstrainedAlloc{}, err
+	}
+	if err := m.NLErr(); err != nil {
+		return ConstrainedAlloc{}, err
+	}
+	if len(caps) != n {
+		return ConstrainedAlloc{}, fmt.Errorf("alloc: constrained allocate: %d capacities for %d nodes", len(caps), n)
+	}
+	// Zero-capacity nodes can never be selected — the old formulation
+	// still paid to cost, heap, and pop them on every start. Filter them
+	// once per call instead; the selection is unchanged because lessIdx
+	// breaks cost ties by index and the candidate list stays in index
+	// order, so the surviving nodes pop in exactly the same order.
+	if cap(sc.cand) < n {
+		sc.cand = make([]int, 0, n)
+	}
+	cand := sc.cand[:0]
+	for i, c := range caps {
+		if c > 0 {
+			cand = append(cand, i)
+		}
+	}
+	sc.cand = cand
+	// α·CL(u) is the start-independent half of every addition cost; price
+	// it once per call instead of once per seed.
+	if cap(sc.alphaCL) < len(cand) {
+		sc.alphaCL = make([]float64, len(cand))
+	}
+	alphaCL := sc.alphaCL[:len(cand)]
+	for s, u := range cand {
+		alphaCL[s] = req.Alpha * m.CLUnit[u]
+	}
+	if len(starts) == 0 {
+		if cap(sc.allStarts) < n {
+			sc.allStarts = make([]int, n)
+		}
+		starts = sc.allStarts[:n]
+		for i := range starts {
+			starts[i] = i
+		}
+	}
+	k := len(starts)
+	if cap(sc.costC) < k {
+		sc.costC = make([]float64, k)
+		sc.costN = make([]float64, k)
+	}
+	costC, costN := sc.costC[:k], sc.costN[:k]
+
+	// Algorithm 1, cost pass: one greedy sub-graph per seed, recording
+	// only C_G and N_G (the selection itself is regenerated for the
+	// winner, trading one extra generation for zero per-candidate
+	// materialization).
+	sumC, sumN := 0.0, 0.0
+	for s, v := range starts {
+		if v < 0 || v >= n {
+			return ConstrainedAlloc{}, fmt.Errorf("alloc: constrained allocate: start index %d outside [0,%d)", v, n)
+		}
+		cG, nG := p.generateConstrained(m, v, caps, cand, alphaCL, req, &sc.gen)
+		costC[s], costN[s] = cG, nG
+		sumC += cG
+		sumN += nG
+	}
+
+	// Algorithm 2 over the seeded candidates: same normalization and
+	// strict-< tie-breaking as scoreCandidatesNormed, so with all starts
+	// the winner matches the exhaustive path.
+	best := -1
+	minTotal := math.Inf(1)
+	for s := range starts {
+		cNorm, nNorm := 0.0, 0.0
+		if sumC > 0 {
+			cNorm = costC[s] / sumC
+		}
+		if sumN > 0 {
+			nNorm = costN[s] / sumN
+		}
+		total := req.Alpha*cNorm + req.Beta*nNorm
+		if total < minTotal {
+			minTotal = total
+			best = s
+		}
+	}
+	if best < 0 {
+		return ConstrainedAlloc{}, fmt.Errorf("alloc: net-load-aware: no candidate produced")
+	}
+	cG, nG := p.generateConstrained(m, starts[best], caps, cand, alphaCL, req, &sc.gen)
+	if len(sc.gen.used) == 0 {
+		return ConstrainedAlloc{}, fmt.Errorf("alloc: constrained allocate: no capacity for %d procs", req.Procs)
+	}
+	return ConstrainedAlloc{
+		Start:       starts[best],
+		Nodes:       sc.gen.used,
+		Counts:      sc.gen.counts,
+		ComputeCost: cG,
+		NetworkCost: nG,
+		TotalLoad:   minTotal,
+	}, nil
+}
+
+// generateConstrained is Algorithm 1 seeded at dense index v under
+// caller-supplied capacities: the same heap-pop selection (and so the
+// same chosen set, in the same order) as generate, pricing network load
+// through PairNLUnit so it works on dense and sharded models alike. It
+// costs and heaps only cand — the positive-capacity dense indices, in
+// ascending order — so a mostly-busy cluster prices a fraction of its
+// nodes per seed. alphaCL[s] is the precomputed α·CL(cand[s]) term
+// shared by every seed. The heap holds positions into cand; position
+// ties reproduce index ties because cand is sorted. The selection is
+// left in sc.used/sc.counts; the returns are C_G and N_G.
+func (p NetLoadAware) generateConstrained(m *CostModel, v int, caps, cand []int, alphaCL []float64, req Request, sc *genScratch) (cG, nG float64) {
+	n := m.Len()
+	f := len(cand)
+	sc.grow(n)
+	addCost := sc.addCost[:f]
+	best := -1
+	if m.NLUnit != nil {
+		nlRow := m.NLUnit[v*n : (v+1)*n]
+		for s, u := range cand {
+			if u == v {
+				addCost[s] = 0 // A_v(v) = 0
+			} else {
+				addCost[s] = alphaCL[s] + req.Beta*nlRow[u]
+			}
+			if best < 0 || addCost[s] < addCost[best] {
+				best = s
+			}
+		}
+	} else {
+		for s, u := range cand {
+			if u == v {
+				addCost[s] = 0
+			} else {
+				addCost[s] = alphaCL[s] + req.Beta*m.PairNLUnit(v, u)
+			}
+			if best < 0 || addCost[s] < addCost[best] {
+				best = s
+			}
+		}
+	}
+	// The first pop is always the (cost, index)-minimum; when that node
+	// alone covers the request — the common case of small jobs — the
+	// whole selection is that one node and no ordering work is needed.
+	if best >= 0 && caps[cand[best]] >= req.Procs {
+		i := cand[best]
+		sc.used = append(sc.used[:0], i)
+		sc.counts = append(sc.counts[:0], req.Procs)
+		return m.CLUnit[i], 0
+	}
+	// General case: the old formulation heapified all f candidates and
+	// popped in ascending (cost, index) order until capacity covered the
+	// request — i.e. it used the minimal covering prefix of that order.
+	// Compute exactly that prefix with a bounded max-heap instead: scan
+	// once, keep a candidate only while it beats the kept maximum or the
+	// kept set does not cover yet, and evict the maximum while coverage
+	// survives without it. Most candidates cost one comparison against
+	// the heap root instead of participating in a full heapify.
+	h := sc.heap[:0]
+	total := 0
+	for s := range addCost {
+		if total >= req.Procs && !lessIdx(addCost, s, h[0]) {
+			continue
+		}
+		h = append(h, s)
+		siftUpMaxIdx(h, len(h)-1, addCost)
+		total += caps[cand[s]]
+		for len(h) > 1 && total-caps[cand[h[0]]] >= req.Procs {
+			total -= caps[cand[h[0]]]
+			last := len(h) - 1
+			h[0] = h[last]
+			h = h[:last]
+			siftDownMaxIdx(h, 0, addCost)
+		}
+	}
+	// Drain the max-heap back to front to recover ascending order — the
+	// exact pop order of the old formulation.
+	sel := sc.sel[:len(h)]
+	for k := len(h) - 1; k >= 0; k-- {
+		sel[k] = h[0]
+		last := len(h) - 1
+		h[0] = h[last]
+		h = h[:last]
+		if len(h) > 0 {
+			siftDownMaxIdx(h, 0, addCost)
+		}
+	}
+	used, counts := sc.used[:0], sc.counts[:0]
+	remaining := req.Procs
+	for _, s := range sel {
+		if remaining <= 0 {
+			break
+		}
+		i := cand[s]
+		take := caps[i]
+		if take > remaining {
+			take = remaining
+		}
+		used = append(used, i)
+		counts = append(counts, take)
+		remaining -= take
+	}
+	for remaining > 0 && len(used) > 0 {
+		for k := range used {
+			if remaining == 0 {
+				break
+			}
+			counts[k]++
+			remaining--
+		}
+	}
+	sc.used, sc.counts = used, counts
+	for _, i := range used {
+		cG += m.CLUnit[i]
+	}
+	if m.NLUnit != nil {
+		for i := 0; i < len(used); i++ {
+			for j := i + 1; j < len(used); j++ {
+				nG += m.NLUnit[used[i]*n+used[j]]
+			}
+		}
+	} else {
+		for i := 0; i < len(used); i++ {
+			for j := i + 1; j < len(used); j++ {
+				nG += m.PairNLUnit(used[i], used[j])
+			}
+		}
+	}
+	return cG, nG
+}

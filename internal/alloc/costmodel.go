@@ -61,6 +61,20 @@ type CostModel struct {
 	// and re-normalize without touching the snapshot's other n-k nodes.
 	attrRows [][]float64
 
+	// rowArena and sawCol are scratch retained on models that serve as
+	// UpdateNodesScratch / ChargeRanks destinations, so repeated
+	// incremental updates reuse one row arena and one SAW column buffer
+	// instead of allocating per call.
+	rowArena []float64
+	sawCol   []float64
+
+	// colSums/colMaxs cache the raw per-column sums and maxima of
+	// attrRows (numAttrCols wide, nil when stale), refreshed by repriceCL
+	// and consumed by ChargeRanksAt: charging k rows then shifts the
+	// cached stats by the k deltas instead of re-reducing all n rows.
+	colSums []float64
+	colMaxs []float64
+
 	// shardOpts and shard carry the optional hierarchical network-load
 	// layer (see NewCostModelSharded). A nil shard means the dense n×n
 	// matrices above are authoritative; a non-nil shard means NL/NLUnit
@@ -187,9 +201,25 @@ func sawAttrs(w Weights) []stats.Attribute {
 	}
 }
 
+// Attribute-row geometry of the sawAttrs schema: the column count and
+// the two columns reservation charging mutates (see ChargeRanks).
+const (
+	numAttrCols    = 8
+	attrColCPULoad = 0
+	attrColCPUUtil = 1
+)
+
 // attrRow is one node's raw Equation 1 attribute vector in sawAttrs
 // column order.
 func attrRow(na metrics.NodeAttrs, useForecast bool) []float64 {
+	row := make([]float64, numAttrCols)
+	attrRowInto(na, useForecast, row)
+	return row
+}
+
+// attrRowInto fills a numAttrCols-wide row with na's raw Equation 1
+// attribute vector — attrRow without the allocation.
+func attrRowInto(na metrics.NodeAttrs, useForecast bool, row []float64) {
 	cpuLoad := windowAvg(na.CPULoad)
 	flowRate := windowAvg(na.FlowRateBps)
 	if useForecast {
@@ -200,16 +230,14 @@ func attrRow(na metrics.NodeAttrs, useForecast bool) []float64 {
 			flowRate = na.FlowRateForecast.Value
 		}
 	}
-	return []float64{
-		cpuLoad,
-		windowAvg(na.CPUUtilPct),
-		flowRate,
-		windowAvg(na.AvailMemMB),
-		float64(na.Cores),
-		na.FreqGHz,
-		na.TotalMemMB,
-		float64(na.Users),
-	}
+	row[0] = cpuLoad
+	row[1] = windowAvg(na.CPUUtilPct)
+	row[2] = flowRate
+	row[3] = windowAvg(na.AvailMemMB)
+	row[4] = float64(na.Cores)
+	row[5] = na.FreqGHz
+	row[6] = na.TotalMemMB
+	row[7] = float64(na.Users)
 }
 
 // attrMatrix builds the SAW input matrix for ids (in the given order).
@@ -312,6 +340,378 @@ func (m *CostModel) UpdateNodes(snap *metrics.Snapshot, changed []int) (*CostMod
 	return u, u.clErr == nil
 }
 
+// shareForUpdate points dst at m's immutable parts (IDs, index, the
+// network layer) and refills its mutable buffers (Cores, LoadM1,
+// attrRows) from m, reusing dst's backing arrays — the common setup of
+// the scratch-reusing incremental update paths.
+func (m *CostModel) shareForUpdate(snap *metrics.Snapshot, dst *CostModel) {
+	dst.Snap = snap
+	dst.Weights = m.Weights
+	dst.Forecast = m.Forecast
+	dst.Taken = snap.Taken
+	dst.IDs = m.IDs
+	dst.idx = m.idx
+	dst.NL = m.NL
+	dst.NLUnit = m.NLUnit
+	dst.nlErr = m.nlErr
+	dst.shardOpts = m.shardOpts
+	dst.shard = m.shard
+	dst.clErr = nil
+	dst.Cores = append(dst.Cores[:0], m.Cores...)
+	dst.LoadM1 = append(dst.LoadM1[:0], m.LoadM1...)
+	dst.attrRows = append(dst.attrRows[:0], m.attrRows...)
+}
+
+// repriceCL re-runs the Equation 1 SAW scoring over dst's attribute rows
+// into dst's reused CL/CLUnit buffers. False means the scoring failed
+// (clErr is set and dst must not be used for compute-load pricing).
+func repriceCL(dst *CostModel) bool {
+	n := len(dst.IDs)
+	if n == 0 {
+		dst.CL, dst.CLUnit = dst.CL[:0], dst.CLUnit[:0]
+		return true
+	}
+	if cap(dst.CL) < n {
+		dst.CL = make([]float64, n)
+	}
+	if cap(dst.sawCol) < n {
+		dst.sawCol = make([]float64, n)
+	}
+	costs, err := stats.SAWCostsInto(dst.CL[:n], dst.sawCol[:n], sawAttrs(dst.Weights), dst.attrRows)
+	if err != nil {
+		dst.clErr = fmt.Errorf("alloc: compute loads: %w", err)
+		return false
+	}
+	dst.CL = costs
+	if cap(dst.CLUnit) < n {
+		dst.CLUnit = make([]float64, n)
+	}
+	dst.CLUnit = dst.CLUnit[:n]
+	copy(dst.CLUnit, dst.CL)
+	rescaleMeanDense(dst.CLUnit)
+	dst.cacheColStats()
+	return true
+}
+
+// cacheColStats (re)reduces attrRows into the colSums/colMaxs cache.
+// The model must have at least one row.
+func (m *CostModel) cacheColStats() {
+	if cap(m.colSums) < numAttrCols {
+		m.colSums = make([]float64, numAttrCols)
+		m.colMaxs = make([]float64, numAttrCols)
+	}
+	m.colSums, m.colMaxs = m.colSums[:numAttrCols], m.colMaxs[:numAttrCols]
+	copy(m.colSums, m.attrRows[0])
+	copy(m.colMaxs, m.attrRows[0])
+	for _, row := range m.attrRows[1:] {
+		for c, v := range row {
+			m.colSums[c] += v
+			if v > m.colMaxs[c] {
+				m.colMaxs[c] = v
+			}
+		}
+	}
+}
+
+// denseIndex resolves a node ID to its dense index, shortcutting the
+// map lookup on the identity layouts simulation models use (IDs[i]==i).
+func (m *CostModel) denseIndex(id int) (int, bool) {
+	if id >= 0 && id < len(m.IDs) && m.IDs[id] == id {
+		return id, true
+	}
+	i, ok := m.idx[id]
+	return i, ok
+}
+
+// UpdateNodesScratch is UpdateNodes writing into dst, a destination
+// model whose buffers are reused across calls (nil allocates a fresh
+// one). Passing dst == m updates the model in place, mutating its
+// retained attribute rows — any model previously derived from m via
+// ChargeRanks must be re-derived afterwards, not reused. When snap is
+// m's own snapshot object (a simulator mutating one snapshot's node
+// attributes in place) the monitored-set recheck is skipped: the caller
+// asserts node membership did not change. Results are bit-identical to
+// UpdateNodes.
+func (m *CostModel) UpdateNodesScratch(snap *metrics.Snapshot, changed []int, dst *CostModel) (*CostModel, bool) {
+	if m.clErr != nil || m.attrRows == nil {
+		return nil, false
+	}
+	if snap != m.Snap {
+		ids := MonitoredLivehosts(snap)
+		if !slices.Equal(ids, m.IDs) {
+			return nil, false
+		}
+	}
+	if dst == nil {
+		dst = &CostModel{}
+	}
+	inPlace := dst == m
+	if inPlace {
+		dst.Snap = snap
+		dst.Taken = snap.Taken
+	} else {
+		m.shareForUpdate(snap, dst)
+	}
+	var arena []float64
+	if !inPlace {
+		// Pre-size the arena so carving rows never reallocates (a
+		// reallocation would invalidate rows carved earlier in this call).
+		need := len(changed) * numAttrCols
+		if cap(dst.rowArena) < need {
+			dst.rowArena = make([]float64, need)
+		}
+		arena = dst.rowArena[:0]
+	}
+	for _, id := range changed {
+		i, ok := m.idx[id]
+		if !ok {
+			return nil, false
+		}
+		na, ok := snap.Nodes[id]
+		if !ok {
+			return nil, false
+		}
+		dst.Cores[i] = na.Cores
+		dst.LoadM1[i] = na.CPULoad.M1
+		row := dst.attrRows[i]
+		if !inPlace {
+			// m's retained row must stay untouched: carve a dst-owned row.
+			arena = arena[:len(arena)+numAttrCols]
+			row = arena[len(arena)-numAttrCols:]
+			dst.attrRows[i] = row
+		}
+		attrRowInto(na, m.Forecast, row)
+	}
+	if !repriceCL(dst) {
+		return nil, false
+	}
+	return dst, true
+}
+
+// RefreshAttrs is the deferred-pricing variant of an in-place
+// UpdateNodesScratch: it folds the changed nodes' published attributes
+// into the model and re-reduces the cached column stats, but skips the
+// Equation 1 re-score, so CL/CLUnit keep their previous (now stale)
+// values. It exists for callers that price every row they read through
+// ChargeRanksAt — which scores from the attribute rows and column stats,
+// never from the model's own CL — making the skipped re-score
+// unobservable; the policy-fidelity simulator refreshes this way at the
+// monitor cadence. snap must describe the same monitored set as the
+// model (the in-place contract of UpdateNodesScratch).
+func (m *CostModel) RefreshAttrs(snap *metrics.Snapshot, changed []int) bool {
+	if m.clErr != nil || m.attrRows == nil {
+		return false
+	}
+	m.Snap = snap
+	m.Taken = snap.Taken
+	for _, id := range changed {
+		i, ok := m.denseIndex(id)
+		if !ok {
+			return false
+		}
+		na, ok := snap.Nodes[id]
+		if !ok {
+			return false
+		}
+		m.Cores[i] = na.Cores
+		m.LoadM1[i] = na.CPULoad.M1
+		attrRowInto(na, m.Forecast, m.attrRows[i])
+	}
+	if len(m.IDs) > 0 {
+		// Full re-reduction, not an incremental shift: finished jobs move
+		// rows down, so cached maxima cannot be maintained monotonically.
+		m.cacheColStats()
+	}
+	return true
+}
+
+// ChargeRanks derives from m a model with busy-waiting MPI ranks charged
+// onto the given nodes' published attributes: the reservation arithmetic
+// of ReservingPolicy.Charged applied at the attribute-row level (CPU
+// load plus the rank count, CPU utilization plus the occupancy share
+// capped at 100% of the aggregated window) — no snapshot clone and no
+// model rebuild, just k replaced rows and an Equation 1 re-score. ids
+// are node IDs in application order (callers pass them sorted so float
+// accumulation is deterministic) with ranks[k] charged onto ids[k];
+// dst's buffers are reused across calls and dst must not be m. ok=false
+// means m cannot be charged incrementally (no usable CL data, an
+// unknown id, or a length mismatch) and the caller must fall back to
+// Charged + NewLike.
+func (m *CostModel) ChargeRanks(ids, ranks []int, dst *CostModel) (*CostModel, bool) {
+	return m.ChargeRanksAt(ids, ranks, nil, dst)
+}
+
+// ChargeRanksAt is ChargeRanks restricted to a candidate set: with a
+// non-nil cand (ascending dense indices), only those rows' CL/CLUnit
+// entries are priced and every other row's costs are left stale — the
+// contract the policy-fidelity simulator relies on, since Algorithm 1
+// under exclusive capacities only ever reads the free nodes' costs. The
+// normalization itself still spans all n rows: charging shifts the
+// cached per-column sums and maxima by the k row deltas (O(k) instead
+// of O(n·attrs)), and the mean-1 CLUnit scale comes from the closed
+// form of the SAW column identities, so each priced entry agrees with a
+// full re-score to within float rounding (~1 ulp per term, far inside
+// the rebuild-equivalence tolerance) rather than bit-for-bit. With a
+// nil cand (the ChargeRanks/broker path) the re-score is the exact full
+// Equation 1 pass instead, bit-identical to the historical behavior.
+func (m *CostModel) ChargeRanksAt(ids, ranks, cand []int, dst *CostModel) (*CostModel, bool) {
+	if m.clErr != nil || m.attrRows == nil || dst == m || len(ids) != len(ranks) {
+		return nil, false
+	}
+	if dst == nil {
+		dst = &CostModel{}
+	}
+	if len(m.IDs) == 0 {
+		if len(ids) > 0 {
+			return nil, false
+		}
+		m.shareForUpdate(m.Snap, dst)
+		dst.CL, dst.CLUnit = dst.CL[:0], dst.CLUnit[:0]
+		return dst, true
+	}
+	if m.colSums == nil {
+		m.cacheColStats()
+	}
+	m.shareForUpdate(m.Snap, dst)
+	dst.colSums = append(dst.colSums[:0], m.colSums...)
+	dst.colMaxs = append(dst.colMaxs[:0], m.colMaxs...)
+	need := len(ids) * numAttrCols
+	if cap(dst.rowArena) < need {
+		dst.rowArena = make([]float64, need)
+	}
+	arena := dst.rowArena[:0]
+	for k, id := range ids {
+		i, ok := m.denseIndex(id)
+		if !ok {
+			return nil, false
+		}
+		r := float64(ranks[k])
+		if r <= 0 {
+			continue
+		}
+		arena = arena[:len(arena)+numAttrCols]
+		row := arena[len(arena)-numAttrCols:]
+		// Repeated ids accumulate: the source row may already be a charged
+		// row carved earlier in this call.
+		copy(row, dst.attrRows[i])
+		row[attrColCPULoad] += r
+		dst.colSums[attrColCPULoad] += r
+		cores := dst.Cores[i]
+		if cores <= 0 {
+			cores = 1 // guard like effProcs: no published cores
+		}
+		occ := r / float64(cores) * 100
+		if row[attrColCPUUtil]+occ > 100 {
+			occ = 100 - row[attrColCPUUtil]
+		}
+		if occ > 0 {
+			row[attrColCPUUtil] += occ
+			dst.colSums[attrColCPUUtil] += occ
+		}
+		// Charges only grow the two mutated columns, so the cached maxima
+		// can only move up.
+		if row[attrColCPULoad] > dst.colMaxs[attrColCPULoad] {
+			dst.colMaxs[attrColCPULoad] = row[attrColCPULoad]
+		}
+		if row[attrColCPUUtil] > dst.colMaxs[attrColCPUUtil] {
+			dst.colMaxs[attrColCPUUtil] = row[attrColCPUUtil]
+		}
+		dst.attrRows[i] = row
+		dst.LoadM1[i] += r
+	}
+	if cand == nil {
+		// Unrestricted path (the broker's ChargeRanks): a full Equation 1
+		// re-score, bit-identical to the historical behavior — charged
+		// pricing must not perturb broker decisions by even an ulp. The
+		// closed-form column-stat pricing below is reserved for the
+		// candidate-restricted simulator path, whose equivalence tolerance
+		// is explicit (TestChargeRanksAgainstRebuild).
+		if !repriceCL(dst) {
+			return nil, false
+		}
+	} else {
+		repriceChargedCL(dst, cand)
+	}
+	return dst, true
+}
+
+// repriceChargedCL prices dst's CL/CLUnit from its attribute rows and
+// cached column stats — SAW re-scoring with the column reductions
+// already in hand, restricted to cand when non-nil (see ChargeRanksAt).
+// Equivalent to repriceCL up to float rounding: normalized terms
+// multiply by precomputed reciprocals instead of dividing, and the
+// mean-1 scale uses ΣCL = Σ_min w + Σ_max w·(n·max_norm − 1), the
+// column-sum identity of the SAW matrix.
+func repriceChargedCL(dst *CostModel, cand []int) {
+	n := len(dst.IDs)
+	attrs := sawAttrs(dst.Weights)
+	var inv, cmax [numAttrCols]float64
+	sumCL := 0.0
+	for c, a := range attrs {
+		s := dst.colSums[c]
+		if s == 0 {
+			continue // zero-sum column normalizes to all zeros
+		}
+		inv[c] = 1 / s
+		if a.Criterion == stats.Maximize {
+			cmax[c] = dst.colMaxs[c] / s
+			sumCL += a.Weight * (float64(n)*cmax[c] - 1)
+		} else {
+			sumCL += a.Weight
+		}
+	}
+	invMean := 0.0
+	if mean := sumCL / float64(n); mean != 0 {
+		invMean = 1 / mean
+	}
+	if cap(dst.CL) < n {
+		dst.CL = make([]float64, n)
+	}
+	if cap(dst.CLUnit) < n {
+		dst.CLUnit = make([]float64, n)
+	}
+	dst.CL, dst.CLUnit = dst.CL[:n], dst.CLUnit[:n]
+	price := func(i int) {
+		row := dst.attrRows[i]
+		cost := 0.0
+		for c, a := range attrs {
+			x := row[c] * inv[c]
+			if a.Criterion == stats.Maximize {
+				x = cmax[c] - x
+			}
+			cost += a.Weight * x
+		}
+		dst.CL[i] = cost
+		if invMean != 0 {
+			cost *= invMean
+		}
+		dst.CLUnit[i] = cost
+	}
+	if cand == nil {
+		for i := range dst.attrRows {
+			price(i)
+		}
+	} else {
+		for _, i := range cand {
+			price(i)
+		}
+	}
+}
+
+// PairNLUnit prices the mean-1 network load between dense indices i and
+// j under whichever representation the model carries: the flat NLUnit
+// matrix on dense models, the hierarchical shard layer otherwise. The
+// diagonal is zero.
+func (m *CostModel) PairNLUnit(i, j int) float64 {
+	if m.shard != nil {
+		if i == j {
+			return 0
+		}
+		return m.shard.pairNL(i, j)
+	}
+	return m.NLUnit[i*len(m.IDs)+j]
+}
+
 // networkLoadsDense evaluates Equation 2 for every unordered pair of ids
 // (in the given order) and returns a flat symmetric n×n matrix indexed
 // by position — the dense core behind NetworkLoads. Pair terms are
@@ -325,6 +725,48 @@ func networkLoadsDense(snap *metrics.Snapshot, ids []int, w Weights) ([]float64,
 	if npairs == 0 {
 		return out, nil
 	}
+	// Measurement maps are sparse relative to the n(n-1)/2 pair space
+	// (racks plus sampled cross-rack probes), so iterate them instead of
+	// probing every pair — at 1024 nodes the probing formulation costs
+	// ~1.5M map lookups per build. Maxima are order-independent and each
+	// pair's value is computed by the same expression, so the result is
+	// bit-identical to the probing formulation.
+	var posArr []int
+	var posMap map[int]int
+	maxID := -1
+	for _, id := range ids {
+		if id < 0 || id > 4*n+1024 {
+			maxID = -1
+			break
+		}
+		if id > maxID {
+			maxID = id
+		}
+	}
+	if maxID >= 0 {
+		posArr = make([]int, maxID+1)
+		for i := range posArr {
+			posArr[i] = -1
+		}
+		for i, id := range ids {
+			posArr[id] = i
+		}
+	} else {
+		posMap = make(map[int]int, n)
+		for i, id := range ids {
+			posMap[id] = i
+		}
+	}
+	lookup := func(id int) (int, bool) {
+		if posArr != nil {
+			if id < 0 || id >= len(posArr) || posArr[id] < 0 {
+				return 0, false
+			}
+			return posArr[id], true
+		}
+		i, ok := posMap[id]
+		return i, ok
+	}
 	// The "peak bandwidth" the paper complements against is the network's
 	// nominal peak — a single constant — so pairs are effectively ranked
 	// by available bandwidth. Using each pair's own bottleneck peak would
@@ -332,11 +774,15 @@ func networkLoadsDense(snap *metrics.Snapshot, ids []int, w Weights) ([]float64,
 	// look as good as an idle local path. Take the best measured peak as
 	// the nominal value.
 	globalPeak := 0.0
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			if _, peak, ok := snap.BandwidthOf(ids[i], ids[j]); ok && peak > globalPeak {
-				globalPeak = peak
-			}
+	for pk, pb := range snap.Bandwidth {
+		if _, ok := lookup(pk.U); !ok {
+			continue
+		}
+		if _, ok := lookup(pk.V); !ok {
+			continue
+		}
+		if pb.PeakBps > globalPeak {
+			globalPeak = pb.PeakBps
 		}
 	}
 	lat := make([]float64, npairs)
@@ -344,28 +790,37 @@ func networkLoadsDense(snap *metrics.Snapshot, ids []int, w Weights) ([]float64,
 	known := make([]bool, npairs)
 	worstLat, worstCbw := 0.0, 0.0
 	anyKnown := false
-	k := 0
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			l, okL := snap.LatencyOf(ids[i], ids[j])
-			avail, _, okB := snap.BandwidthOf(ids[i], ids[j])
-			if okL && okB {
-				lat[k] = l.Seconds()
-				c := globalPeak - avail
-				if c < 0 {
-					c = 0
-				}
-				cbw[k] = c
-				known[k] = true
-				anyKnown = true
-				if lat[k] > worstLat {
-					worstLat = lat[k]
-				}
-				if cbw[k] > worstCbw {
-					worstCbw = cbw[k]
-				}
-			}
-			k++
+	for pk, pb := range snap.Bandwidth {
+		i, okI := lookup(pk.U)
+		j, okJ := lookup(pk.V)
+		if !okI || !okJ || i == j {
+			continue
+		}
+		pl, okL := snap.Latency[pk]
+		if !okL {
+			continue // a pair is known only when both measurements exist
+		}
+		if i > j {
+			i, j = j, i
+		}
+		k := i*n - i*(i+1)/2 + (j - i - 1)
+		l := pl.Mean1
+		if l <= 0 {
+			l = pl.Last
+		}
+		lat[k] = l.Seconds()
+		c := globalPeak - pb.AvailBps
+		if c < 0 {
+			c = 0
+		}
+		cbw[k] = c
+		known[k] = true
+		anyKnown = true
+		if lat[k] > worstLat {
+			worstLat = lat[k]
+		}
+		if cbw[k] > worstCbw {
+			worstCbw = cbw[k]
 		}
 	}
 	if !anyKnown {
@@ -385,7 +840,7 @@ func networkLoadsDense(snap *metrics.Snapshot, ids []int, w Weights) ([]float64,
 	if err != nil {
 		return nil, fmt.Errorf("alloc: network loads: %w", err)
 	}
-	k = 0
+	k := 0
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			v := w.Latency*latN[k] + w.Bandwidth*cbwN[k]
@@ -540,6 +995,38 @@ func popIdx(h []int, cost []float64) (int, []int) {
 	h = h[:last]
 	siftDownIdx(h, 0, cost)
 	return top, h
+}
+
+// siftUpMaxIdx and siftDownMaxIdx maintain a MAX-heap under the same
+// strict (cost, index) total order as lessIdx — the bounded-selection
+// heap of generateConstrained, whose root is the worst kept candidate.
+func siftUpMaxIdx(h []int, i int, cost []float64) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !lessIdx(cost, h[p], h[i]) {
+			return
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+}
+
+func siftDownMaxIdx(h []int, i int, cost []float64) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(h) && lessIdx(cost, h[l], h[r]) {
+			m = r
+		}
+		if !lessIdx(cost, h[i], h[m]) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
 }
 
 // minParallelStarts is the candidate count below which the worker pool

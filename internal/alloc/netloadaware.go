@@ -169,6 +169,7 @@ func scoreCandidatesNormed(candidates []Candidate, req Request, sumC, sumN float
 type genScratch struct {
 	addCost []float64
 	heap    []int
+	sel     []int
 	used    []int
 	counts  []int
 }
@@ -178,6 +179,7 @@ func (sc *genScratch) grow(n int) {
 	if cap(sc.addCost) < n {
 		sc.addCost = make([]float64, n)
 		sc.heap = make([]int, n)
+		sc.sel = make([]int, n)
 		sc.used = make([]int, 0, n)
 		sc.counts = make([]int, 0, n)
 	}

@@ -2,6 +2,7 @@ package alloc
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -34,12 +35,41 @@ type ReservingPolicy struct {
 	// snapshot carrying an old (or zero) Taken cannot make reservations
 	// immortal: time only moves forward for expiry purposes.
 	seen time.Time
+	// chargeIDs/chargeRanks are ChargedModel's reusable aggregation
+	// buffers; chargeDense/chargeMark form the dense per-node-ID
+	// accumulator it prefers over a map when IDs are small non-negative
+	// ints (always zeroed again before the lock is released). All are
+	// guarded by mu.
+	chargeIDs   []int
+	chargeRanks []int
+	chargeDense []int
+	chargeMark  []bool
 }
 
+// reservation is one live claim, held as parallel id/rank slices sorted
+// ascending by node ID — built once at record time so the per-decision
+// charge aggregation walks flat ints instead of iterating maps.
 type reservation struct {
-	procs     map[int]int
+	ids       []int
+	ranks     []int
 	at        time.Time
 	cancelled bool
+}
+
+// newReservation converts a node→ranks map into the sorted slice form.
+func newReservation(procs map[int]int) *reservation {
+	res := &reservation{
+		ids:   make([]int, 0, len(procs)),
+		ranks: make([]int, 0, len(procs)),
+	}
+	for id := range procs {
+		res.ids = append(res.ids, id)
+	}
+	sort.Ints(res.ids)
+	for _, id := range res.ids {
+		res.ranks = append(res.ranks, procs[id])
+	}
+	return res
 }
 
 // NewReservingPolicy wraps inner with reservation charging.
@@ -132,7 +162,8 @@ func (p *ReservingPolicy) Charged(snap *metrics.Snapshot) *metrics.Snapshot {
 	if len(live) > 0 {
 		charged = snap.Clone()
 		for _, res := range live {
-			for node, ranks := range res.procs {
+			for k, node := range res.ids {
+				ranks := res.ranks[k]
 				na, ok := charged.Nodes[node]
 				if !ok {
 					continue
@@ -175,6 +206,101 @@ func (p *ReservingPolicy) Charged(snap *metrics.Snapshot) *metrics.Snapshot {
 	return charged
 }
 
+// ChargedModel prices base with the live reservations charged directly
+// onto the model's retained attribute rows (CostModel.ChargeRanks) — the
+// path simulation runs use so reservations flow through the policy
+// without the per-decision snapshot clone and full model rebuild that
+// AllocateModel's generic path performs. Expired reservations are pruned
+// against now (the clock only moves forward, like Charged). With nothing
+// live it returns (base, true) untouched; otherwise it returns the
+// charged model written into dst's reused buffers. ok=false means base
+// cannot be charged incrementally (see ChargeRanks) — callers fall back
+// to the Charged + NewLike rebuild.
+func (p *ReservingPolicy) ChargedModel(now time.Time, base *CostModel, dst *CostModel) (*CostModel, bool) {
+	return p.ChargedModelAt(now, base, nil, dst)
+}
+
+// ChargedModelAt is ChargedModel pricing only the cand rows of the
+// charged model (nil cand prices every row) — see
+// CostModel.ChargeRanksAt for the staleness contract on the rest.
+func (p *ReservingPolicy) ChargedModelAt(now time.Time, base *CostModel, cand []int, dst *CostModel) (*CostModel, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t := p.advanceLocked(now)
+	live := p.reservations[:0]
+	for _, res := range p.reservations {
+		if !res.cancelled && t.Sub(res.at) < p.TTL {
+			live = append(live, res)
+		}
+	}
+	for i := len(live); i < len(p.reservations); i++ {
+		p.reservations[i] = nil
+	}
+	p.reservations = live
+	if len(live) == 0 {
+		return base, true
+	}
+	// Aggregate ranks per node through a dense accumulator indexed by
+	// node ID: one int add per reservation entry, no hashing. Node IDs
+	// are small ints in practice; a pathological ID range falls back to
+	// a transient map so the scratch stays bounded.
+	maxID := -1
+	dense := true
+	for _, res := range live {
+		for _, id := range res.ids {
+			if id < 0 || id >= 1<<22 {
+				dense = false
+				break
+			}
+			if id > maxID {
+				maxID = id
+			}
+		}
+		if !dense {
+			break
+		}
+	}
+	p.chargeIDs = p.chargeIDs[:0]
+	if dense {
+		if len(p.chargeDense) <= maxID {
+			p.chargeDense = make([]int, maxID+1)
+			p.chargeMark = make([]bool, maxID+1)
+		}
+		for _, res := range live {
+			for k, id := range res.ids {
+				p.chargeDense[id] += res.ranks[k]
+				if !p.chargeMark[id] {
+					p.chargeMark[id] = true
+					p.chargeIDs = append(p.chargeIDs, id)
+				}
+			}
+		}
+		sort.Ints(p.chargeIDs)
+		p.chargeRanks = p.chargeRanks[:0]
+		for _, id := range p.chargeIDs {
+			p.chargeRanks = append(p.chargeRanks, p.chargeDense[id])
+			p.chargeDense[id] = 0
+			p.chargeMark[id] = false
+		}
+	} else {
+		sum := make(map[int]int)
+		for _, res := range live {
+			for k, id := range res.ids {
+				sum[id] += res.ranks[k]
+			}
+		}
+		for id := range sum {
+			p.chargeIDs = append(p.chargeIDs, id)
+		}
+		sort.Ints(p.chargeIDs)
+		p.chargeRanks = p.chargeRanks[:0]
+		for _, id := range p.chargeIDs {
+			p.chargeRanks = append(p.chargeRanks, sum[id])
+		}
+	}
+	return base.ChargeRanksAt(p.chargeIDs, p.chargeRanks, cand, dst)
+}
+
 // advanceLocked folds a snapshot clock reading into the policy's
 // monotonic view of time and returns the pruning clock. Callers must
 // hold p.mu.
@@ -189,13 +315,10 @@ func (p *ReservingPolicy) advanceLocked(taken time.Time) time.Time {
 // is lifted to the latest clock seen so the reservation still expires
 // TTL from "now" rather than living (or dying) on a skewed clock.
 func (p *ReservingPolicy) record(procs map[int]int, at time.Time) {
-	cp := make(map[int]int, len(procs))
-	for n, c := range procs {
-		cp[n] = c
-	}
+	res := newReservation(procs)
 	p.mu.Lock()
-	at2 := p.advanceLocked(at)
-	p.reservations = append(p.reservations, &reservation{procs: cp, at: at2})
+	res.at = p.advanceLocked(at)
+	p.reservations = append(p.reservations, res)
 	p.mu.Unlock()
 }
 
@@ -206,11 +329,23 @@ func (p *ReservingPolicy) record(procs map[int]int, at time.Time) {
 // queue uses this for the waiting head job's shadow reservation, which
 // it re-computes (and re-charges) every scheduling pass.
 func (p *ReservingPolicy) Reserve(procs map[int]int, at time.Time) func() {
-	cp := make(map[int]int, len(procs))
-	for n, c := range procs {
-		cp[n] = c
+	return p.reserve(newReservation(procs), at)
+}
+
+// ReserveRanks is Reserve taking the claim as parallel id/rank slices
+// (ranks[k] on ids[k], any order, copied) — the allocation-free entry
+// the policy-fidelity simulator charges each placement through.
+func (p *ReservingPolicy) ReserveRanks(ids, ranks []int, at time.Time) func() {
+	res := &reservation{
+		ids:   append([]int(nil), ids...),
+		ranks: append([]int(nil), ranks...),
 	}
-	res := &reservation{procs: cp}
+	sort.Sort(&idRankPairs{res.ids, res.ranks})
+	return p.reserve(res, at)
+}
+
+// reserve registers res and returns its cancel closure.
+func (p *ReservingPolicy) reserve(res *reservation, at time.Time) func() {
 	p.mu.Lock()
 	res.at = p.advanceLocked(at)
 	p.reservations = append(p.reservations, res)
@@ -220,6 +355,20 @@ func (p *ReservingPolicy) Reserve(procs map[int]int, at time.Time) func() {
 		res.cancelled = true
 		p.mu.Unlock()
 	}
+}
+
+// idRankPairs sorts parallel id/rank slices by id (ids are unique per
+// claim, so the order is total).
+type idRankPairs struct {
+	ids   []int
+	ranks []int
+}
+
+func (s *idRankPairs) Len() int           { return len(s.ids) }
+func (s *idRankPairs) Less(i, j int) bool { return s.ids[i] < s.ids[j] }
+func (s *idRankPairs) Swap(i, j int) {
+	s.ids[i], s.ids[j] = s.ids[j], s.ids[i]
+	s.ranks[i], s.ranks[j] = s.ranks[j], s.ranks[i]
 }
 
 // Outstanding returns the number of live reservations as of t. Like

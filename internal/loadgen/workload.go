@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"nlarm/internal/rng"
@@ -46,10 +47,30 @@ func (d Dist) IsZero() bool { return d == Dist{} }
 // Sampler draws values from a compiled distribution.
 type Sampler func(r *rng.Rand) float64
 
+// weibullShapeCache memoizes weibullShapeForCV by the CV's bit pattern:
+// a sweep re-compiles the same workload spec once per run, and the
+// 200-step bisection with two Gamma evaluations per step is by far the
+// most expensive part. sync.Map because sweep workers compile
+// concurrently.
+var weibullShapeCache sync.Map
+
 // weibullShapeForCV solves CV^2 = Gamma(1+2/k)/Gamma(1+1/k)^2 - 1 for the
 // Weibull shape k by bisection. CV is decreasing in k; the bracket covers
-// CV from ~0.005 (k=200) to ~190 (k=0.05).
+// CV from ~0.005 (k=200) to ~190 (k=0.05). Solutions are memoized per CV.
 func weibullShapeForCV(cv float64) (float64, error) {
+	if v, ok := weibullShapeCache.Load(math.Float64bits(cv)); ok {
+		return v.(float64), nil
+	}
+	k, err := weibullShapeSolve(cv)
+	if err != nil {
+		return 0, err
+	}
+	weibullShapeCache.Store(math.Float64bits(cv), k)
+	return k, nil
+}
+
+// weibullShapeSolve is the uncached bisection behind weibullShapeForCV.
+func weibullShapeSolve(cv float64) (float64, error) {
 	cvOf := func(k float64) float64 {
 		g1 := math.Gamma(1 + 1/k)
 		g2 := math.Gamma(1 + 2/k)

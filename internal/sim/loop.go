@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"hash"
 	"io"
+	"strconv"
 	"time"
 
 	"nlarm/internal/simtime"
@@ -42,6 +43,7 @@ type Loop struct {
 	fired uint64
 	last  time.Time
 	hash  hash.Hash
+	line  []byte    // reused log-line buffer (see record)
 	logW  io.Writer // optional mirror of the event log
 	err   error     // first log-write error
 }
@@ -64,14 +66,25 @@ func (l *Loop) Now() time.Time { return l.sched.Now() }
 // components that take a simtime.Runtime.
 func (l *Loop) Scheduler() *simtime.Scheduler { return l.sched }
 
-// record appends one fired event to the log and digest.
+// record appends one fired event to the log and digest. The line is
+// built with strconv into a reused buffer — byte-identical to the
+// original fmt.Sprintf("%d %.9f %s\n", ...) formatting (both delegate
+// to the same strconv conversions), without the four allocations per
+// event that dominated million-job runs.
 func (l *Loop) record(now time.Time, name string) {
 	l.fired++
 	l.last = now
-	line := fmt.Sprintf("%d %.9f %s\n", l.fired, now.Sub(l.start).Seconds(), name)
-	io.WriteString(l.hash, line)
+	b := l.line[:0]
+	b = strconv.AppendUint(b, l.fired, 10)
+	b = append(b, ' ')
+	b = strconv.AppendFloat(b, now.Sub(l.start).Seconds(), 'f', 9, 64)
+	b = append(b, ' ')
+	b = append(b, name...)
+	b = append(b, '\n')
+	l.line = b
+	l.hash.Write(b)
 	if l.logW != nil {
-		if _, err := io.WriteString(l.logW, line); err != nil && l.err == nil {
+		if _, err := l.logW.Write(b); err != nil && l.err == nil {
 			l.err = err
 		}
 	}

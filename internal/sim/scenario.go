@@ -57,6 +57,11 @@ type ScenarioConfig struct {
 	Start time.Time `json:"start,omitempty"`
 	// MaxEvents guards runaway event chains (default 4*jobs+1024).
 	MaxEvents uint64 `json:"max_events,omitempty"`
+	// Policy, when set, runs the scenario at policy fidelity: every job
+	// start is placed on concrete nodes by Algorithms 1-2 over one live
+	// cost model (see PolicyConfig). Nil keeps the pure capacity model —
+	// and its byte-stable version-1 traces.
+	Policy *PolicyConfig `json:"policy,omitempty"`
 }
 
 func (c ScenarioConfig) withDefaults() ScenarioConfig {
@@ -77,6 +82,10 @@ func (c ScenarioConfig) withDefaults() ScenarioConfig {
 	}
 	if c.MaxEvents == 0 {
 		c.MaxEvents = 4*uint64(c.Workload.TotalJobs()) + 1024
+	}
+	if c.Policy != nil {
+		pc := c.Policy.withDefaults(c.Nodes)
+		c.Policy = &pc
 	}
 	return c
 }
@@ -101,13 +110,18 @@ type ScenarioResult struct {
 	EventsFired uint64 `json:"events_fired"`
 	// Digest is the SHA-256 of the job trace — the determinism handle.
 	Digest string `json:"digest"`
+	// Policy summarizes the placement layer on policy-fidelity runs.
+	Policy *PolicyStats `json:"policy,omitempty"`
 	// WallTime is how long the run took in real time.
 	WallTime time.Duration `json:"wall_time"`
 }
 
-// simJob is one job's state inside the capacity model.
+// simJob is one job's state inside the capacity model. Jobs are
+// recycled through a freelist; gen counts reincarnations so stale
+// runHeap entries from a previous life are recognizable.
 type simJob struct {
 	id       int
+	gen      uint32
 	cohort   string
 	client   int
 	procs    int
@@ -121,12 +135,20 @@ type simJob struct {
 	end      time.Time
 	running  bool
 	backfill bool
+	// place and the costs are the policy-fidelity overlay (nil / zero on
+	// capacity runs).
+	place  *placement
+	clCost float64
+	nlCost float64
 }
 
-// runEntry orders running jobs by completion time for reservations.
+// runEntry orders running jobs by completion time for reservations. gen
+// snapshots job.gen at push time: a mismatch means the job object was
+// recycled and the entry is stale.
 type runEntry struct {
 	end time.Time
 	seq int
+	gen uint32
 	job *simJob
 }
 
@@ -136,8 +158,14 @@ type scenario struct {
 	loop    *Loop
 	gen     *loadgen.WorkloadGen
 	tw      *trace.JobTraceWriter
-	free    int
-	pending []*simJob
+	rs   *runScratch
+	pol  *policyState
+	free int
+	// pending is the submit queue from pendHead on: head pops advance
+	// the index instead of reslicing, which would shed front capacity
+	// and force a reallocation on nearly every push.
+	pending  []*simJob
+	pendHead int
 	// runHeap is a min-heap by (end, seq). Finished jobs are removed
 	// lazily: a finished entry's end is <= now <= every live entry's end,
 	// so stale entries surface at the front of any scan.
@@ -149,12 +177,23 @@ type scenario struct {
 	waitSum  float64
 	busySec  float64
 	err      error
+	// nextArr and arrFn implement the arrival chain with one persistent
+	// callback instead of a closure per arrival.
+	nextArr loadgen.Arrival
+	arrFn   func(time.Time)
 }
 
 // RunScenario executes cfg, streaming the job trace to traceOut (nil
 // discards the bytes but still computes the digest). Same config, same
 // result — bit for bit.
 func RunScenario(cfg ScenarioConfig, traceOut io.Writer) (*ScenarioResult, error) {
+	return runScenario(cfg, traceOut, &runScratch{})
+}
+
+// runScenario is RunScenario against caller-owned scratch: the sweep
+// engine threads one runScratch per worker through here so back-to-back
+// runs reuse each other's buffers.
+func runScenario(cfg ScenarioConfig, traceOut io.Writer, rs *runScratch) (*ScenarioResult, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Nodes <= 0 {
 		return nil, fmt.Errorf("sim: scenario needs a positive node count")
@@ -174,7 +213,14 @@ func RunScenario(cfg ScenarioConfig, traceOut io.Writer) (*ScenarioResult, error
 	if err != nil {
 		return nil, fmt.Errorf("sim: marshal scenario config: %w", err)
 	}
-	tw, err := trace.NewJobTraceWriter(traceOut, trace.JobTraceHeader{Seed: cfg.Seed, Scenario: scenJSON})
+	hdr := trace.JobTraceHeader{Seed: cfg.Seed, Scenario: scenJSON}
+	if cfg.Policy == nil {
+		// Capacity runs carry no cost columns: pin the byte-stable
+		// version-1 format so golden traces and cross-version replays
+		// keep verifying.
+		hdr.Version = 1
+	}
+	tw, err := trace.NewJobTraceWriter(traceOut, hdr)
 	if err != nil {
 		return nil, err
 	}
@@ -183,11 +229,21 @@ func RunScenario(cfg ScenarioConfig, traceOut io.Writer) (*ScenarioResult, error
 		loop: NewLoop(simtime.NewScheduler(cfg.Start)),
 		gen:  gen,
 		tw:   tw,
+		rs:   rs,
 		free: cfg.Nodes,
 	}
+	if cfg.Policy != nil {
+		pol, err := newPolicyState(cfg, &rs.pol)
+		if err != nil {
+			return nil, err
+		}
+		s.pol = pol
+	}
 	s.res.Jobs = cfg.Workload.TotalJobs()
+	s.arrFn = s.arrival
 	if a, ok := gen.Next(); ok {
-		if _, err := s.loop.ScheduleAt(a.At, "arrival", s.arrivalEvent(a)); err != nil {
+		s.nextArr = a
+		if _, err := s.loop.ScheduleAt(a.At, "arrival", s.arrFn); err != nil {
 			return nil, err
 		}
 	}
@@ -198,7 +254,7 @@ func RunScenario(cfg ScenarioConfig, traceOut io.Writer) (*ScenarioResult, error
 	if s.err != nil {
 		return nil, s.err
 	}
-	if pend := len(s.pending); pend != 0 {
+	if pend := len(s.pending) - s.pendHead; pend != 0 {
 		return nil, fmt.Errorf("sim: %d jobs still pending after the event queue drained", pend)
 	}
 	if err := tw.Flush(); err != nil {
@@ -213,22 +269,46 @@ func RunScenario(cfg ScenarioConfig, traceOut io.Writer) (*ScenarioResult, error
 		s.res.UtilizationPct = 100 * s.busySec / (float64(cfg.Nodes) * s.res.MakespanSec)
 	}
 	s.res.Digest = tw.Digest()
+	if s.pol != nil {
+		s.res.Policy = s.pol.finalize()
+	}
 	s.res.WallTime = time.Since(wallStart)
 	return &s.res, nil
 }
 
-// arrivalEvent returns the loop callback for arrival a: submit it,
-// chain the next arrival, and run a scheduling pass.
-func (s *scenario) arrivalEvent(a loadgen.Arrival) func(time.Time) {
-	return func(now time.Time) {
-		s.submit(a, now)
-		if next, ok := s.gen.Next(); ok {
-			if _, err := s.loop.ScheduleAt(next.At, "arrival", s.arrivalEvent(next)); err != nil && s.err == nil {
-				s.err = err
-			}
+// arrival is the loop callback for the pending arrival: submit it,
+// chain the next one (same callback, new nextArr — the event sequence
+// is identical to a closure per arrival, without the allocation), and
+// run a scheduling pass.
+func (s *scenario) arrival(now time.Time) {
+	a := s.nextArr
+	s.submit(a, now)
+	if next, ok := s.gen.Next(); ok {
+		s.nextArr = next
+		if _, err := s.loop.ScheduleAt(next.At, "arrival", s.arrFn); err != nil && s.err == nil {
+			s.err = err
 		}
-		s.schedulePass(now)
 	}
+	s.schedulePass(now)
+}
+
+// getJob takes a job object off the freelist (bumping its generation)
+// or allocates one.
+func (s *scenario) getJob() *simJob {
+	if k := len(s.rs.jobFree); k > 0 {
+		j := s.rs.jobFree[k-1]
+		s.rs.jobFree = s.rs.jobFree[:k-1]
+		*j = simJob{gen: j.gen + 1}
+		return j
+	}
+	return &simJob{}
+}
+
+// releaseJob recycles j once it can never be touched again (recorded,
+// and any placement returned). Its runHeap entry may still be pending a
+// lazy pop; the generation check makes it stale.
+func (s *scenario) releaseJob(j *simJob) {
+	s.rs.jobFree = append(s.rs.jobFree, j)
 }
 
 // submit enqueues arrival a (or rejects it if it can never fit).
@@ -237,36 +317,36 @@ func (s *scenario) submit(a loadgen.Arrival, now time.Time) {
 	if effPPN <= 0 || effPPN > s.cfg.CoresPerNode {
 		effPPN = s.cfg.CoresPerNode
 	}
-	j := &simJob{
-		id:       a.Seq,
-		cohort:   a.Cohort,
-		client:   a.Client,
-		procs:    a.Procs,
-		ppn:      effPPN,
-		priority: a.Priority,
-		nodes:    (a.Procs + effPPN - 1) / effPPN,
-		walltime: a.Walltime,
-		service:  a.Service,
-		submit:   now,
-	}
+	j := s.getJob()
+	j.id = a.Seq
+	j.cohort = a.Cohort
+	j.client = a.Client
+	j.procs = a.Procs
+	j.ppn = effPPN
+	j.priority = a.Priority
+	j.nodes = (a.Procs + effPPN - 1) / effPPN
+	j.walltime = a.Walltime
+	j.service = a.Service
+	j.submit = now
 	if s.firstSub.IsZero() {
 		s.firstSub = now
 	}
 	if j.nodes > s.cfg.Nodes {
 		s.res.Rejected++
 		s.record(j, -1, -1)
+		s.releaseJob(j)
 		return
 	}
 	// Stable priority insertion, scanning from the back: after the last
 	// equal-or-higher priority (all-zero priorities append — plain FIFO).
 	at := len(s.pending)
-	for at > 0 && s.pending[at-1].priority < j.priority {
+	for at > s.pendHead && s.pending[at-1].priority < j.priority {
 		at--
 	}
 	s.pending = append(s.pending, nil)
 	copy(s.pending[at+1:], s.pending[at:])
 	s.pending[at] = j
-	if d := len(s.pending); d > s.res.MaxQueueDepth {
+	if d := len(s.pending) - s.pendHead; d > s.res.MaxQueueDepth {
 		s.res.MaxQueueDepth = d
 	}
 }
@@ -274,15 +354,29 @@ func (s *scenario) submit(a loadgen.Arrival, now time.Time) {
 // schedulePass launches queue heads in order until one does not fit,
 // then (under EASY) backfills around the blocked head.
 func (s *scenario) schedulePass(now time.Time) {
-	for len(s.pending) > 0 && s.pending[0].nodes <= s.free {
-		j := s.pending[0]
-		s.pending = s.pending[1:]
+	for s.pendHead < len(s.pending) && s.pending[s.pendHead].nodes <= s.free {
+		j := s.pending[s.pendHead]
+		s.pending[s.pendHead] = nil
+		s.pendHead++
 		s.startJob(j, now, false)
 	}
-	if s.cfg.Discipline != EASY || len(s.pending) < 2 {
+	if s.pendHead == len(s.pending) {
+		s.pending = s.pending[:0]
+		s.pendHead = 0
+	} else if s.pendHead > 1024 && s.pendHead*2 >= len(s.pending) {
+		// Compact the drained prefix so the queue's footprint tracks its
+		// depth, not its history.
+		n := copy(s.pending, s.pending[s.pendHead:])
+		for k := n; k < len(s.pending); k++ {
+			s.pending[k] = nil
+		}
+		s.pending = s.pending[:n]
+		s.pendHead = 0
+	}
+	if s.cfg.Discipline != EASY || len(s.pending)-s.pendHead < 2 {
 		return
 	}
-	head := s.pending[0]
+	head := s.pending[s.pendHead]
 	maxWait := now.Sub(head.submit)
 	if maxWait >= s.cfg.AgingBound {
 		return // the head has aged out: nothing may overtake it
@@ -292,7 +386,7 @@ func (s *scenario) schedulePass(now time.Time) {
 		return
 	}
 	scanned := 0
-	for i := 1; i < len(s.pending) && scanned < s.cfg.BackfillDepth; {
+	for i := s.pendHead + 1; i < len(s.pending) && scanned < s.cfg.BackfillDepth; {
 		j := s.pending[i]
 		if w := now.Sub(j.submit); w > maxWait {
 			maxWait = w
@@ -302,7 +396,9 @@ func (s *scenario) schedulePass(now time.Time) {
 		}
 		scanned++
 		if j.walltime > 0 && j.nodes <= s.free && !now.Add(j.walltime).After(reserve) {
-			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			copy(s.pending[i:], s.pending[i+1:])
+			s.pending[len(s.pending)-1] = nil
+			s.pending = s.pending[:len(s.pending)-1]
 			s.startJob(j, now, true)
 			continue // the slice shifted; re-examine index i
 		}
@@ -318,11 +414,11 @@ func (s *scenario) earliestStart(now time.Time, needed int) time.Time {
 		return now
 	}
 	acc := s.free
-	var popped []runEntry
+	popped := s.rs.popped[:0]
 	var at time.Time
 	for len(s.runHeap) > 0 {
 		e := s.popRun()
-		if !e.job.running {
+		if e.gen != e.job.gen || !e.job.running {
 			continue // stale entry: drop it for good
 		}
 		popped = append(popped, e)
@@ -335,11 +431,23 @@ func (s *scenario) earliestStart(now time.Time, needed int) time.Time {
 	for _, e := range popped {
 		s.pushRun(e)
 	}
+	s.rs.popped = popped[:0]
 	return at
 }
 
-// startJob commits j to n nodes now and schedules its completion.
+// startJob commits j to n nodes now and schedules its completion. On
+// policy runs the placement decision happens here — a failure aborts
+// the run (capacity admission guarantees placement feasibility, so a
+// refusal is a bug, not a full cluster).
 func (s *scenario) startJob(j *simJob, now time.Time, backfilled bool) {
+	if s.pol != nil {
+		if err := s.pol.place(j, now); err != nil {
+			if s.err == nil {
+				s.err = err
+			}
+			return
+		}
+	}
 	s.free -= j.nodes
 	j.start = now
 	j.end = now.Add(j.service)
@@ -352,7 +460,7 @@ func (s *scenario) startJob(j *simJob, now time.Time, backfilled bool) {
 	if w := now.Sub(j.submit).Seconds(); w > s.res.MaxWaitSec {
 		s.res.MaxWaitSec = w
 	}
-	s.pushRun(runEntry{end: j.end, seq: s.startSeq, job: j})
+	s.pushRun(runEntry{end: j.end, seq: s.startSeq, gen: j.gen, job: j})
 	s.startSeq++
 	if _, err := s.loop.ScheduleAt(j.end, "finish", func(fnow time.Time) {
 		s.finishJob(j, fnow)
@@ -365,6 +473,9 @@ func (s *scenario) startJob(j *simJob, now time.Time, backfilled bool) {
 func (s *scenario) finishJob(j *simJob, now time.Time) {
 	j.running = false
 	s.free += j.nodes
+	if s.pol != nil {
+		s.pol.release(j)
+	}
 	s.busySec += float64(j.nodes) * j.service.Seconds()
 	s.res.Completed++
 	if now.After(s.lastEnd) {
@@ -372,6 +483,7 @@ func (s *scenario) finishJob(j *simJob, now time.Time) {
 	}
 	s.record(j, j.start.Sub(s.cfg.Start).Seconds(), now.Sub(s.cfg.Start).Seconds())
 	s.schedulePass(now)
+	s.releaseJob(j)
 }
 
 // record writes j's trace record (startSec/endSec -1 for rejections).
@@ -388,6 +500,8 @@ func (s *scenario) record(j *simJob, startSec, endSec float64) {
 		EndSec:     endSec,
 		Nodes:      j.nodes,
 		Backfilled: j.backfill,
+		CLCost:     j.clCost,
+		NLCost:     j.nlCost,
 	}
 	if j.walltime > 0 {
 		rec.WalltimeSec = j.walltime.Seconds()

@@ -78,6 +78,15 @@ func ComplementMax(vals []float64) []float64 {
 // criterion is Maximize so every column becomes a cost, then (3) costs are
 // the weighted sums across columns. Lower cost is better.
 func SAWCosts(attrs []Attribute, matrix [][]float64) ([]float64, error) {
+	return SAWCostsInto(nil, nil, attrs, matrix)
+}
+
+// SAWCostsInto is SAWCosts writing into caller-provided buffers: dst
+// receives the costs and col is column scratch, both grown as needed and
+// otherwise reused — the zero-allocation core behind incremental model
+// updates that re-run SAW scoring per decision. The arithmetic and its
+// accumulation order are exactly SAWCosts', so results are bit-identical.
+func SAWCostsInto(dst, col []float64, attrs []Attribute, matrix [][]float64) ([]float64, error) {
 	n := len(matrix)
 	if n == 0 {
 		return nil, nil
@@ -92,24 +101,81 @@ func SAWCosts(attrs []Attribute, matrix [][]float64) ([]float64, error) {
 			return nil, fmt.Errorf("stats: SAWCosts: attribute %q has negative weight", a.Name)
 		}
 	}
-	costs := make([]float64, n)
-	col := make([]float64, n)
-	for c, a := range attrs {
-		for r := range matrix {
-			col[r] = matrix[r][c]
-		}
-		norm, err := NormalizeSum(col)
-		if err != nil {
-			return nil, fmt.Errorf("stats: SAWCosts: attribute %q: %w", a.Name, err)
-		}
-		if a.Criterion == Maximize {
-			norm = ComplementMax(norm)
-		}
-		for r := range costs {
-			costs[r] += a.Weight * norm[r]
+	costs := growFloats(dst, n)
+	// Two fused row-major passes instead of 3-4 strided column passes:
+	// pass 1 collects per-column raw sums and maxima, pass 2 prices each
+	// row in one sweep. The arithmetic stays bit-identical to the
+	// column-at-a-time formulation: each column sum accumulates in row
+	// order exactly as before, max(v/sum) equals max(v)/sum because
+	// division by a positive sum is monotone in IEEE arithmetic, and each
+	// row's cost adds its weighted column terms in the same column order.
+	nc := len(attrs)
+	col = growFloats(col, 2*nc)
+	sums, maxs := col[:nc], col[nc:2*nc]
+	copy(sums, matrix[0])
+	copy(maxs, matrix[0])
+	negative := false
+	for c := range sums {
+		if matrix[0][c] < 0 {
+			negative = true
 		}
 	}
+	for _, row := range matrix[1:] {
+		for c, v := range row {
+			if v < 0 {
+				negative = true
+			}
+			sums[c] += v
+			if v > maxs[c] {
+				maxs[c] = v
+			}
+		}
+	}
+	if negative {
+		// Cold path: re-scan in the original column-major order so the
+		// error names the same value the old formulation named.
+		for c, a := range attrs {
+			for r := range matrix {
+				if v := matrix[r][c]; v < 0 {
+					return nil, fmt.Errorf("stats: SAWCosts: attribute %q: %w", a.Name,
+						fmt.Errorf("stats: NormalizeSum: negative value %g at index %d", v, r))
+				}
+			}
+		}
+	}
+	// Pre-divide the maxima so Maximize columns complement against the
+	// normalized maximum; a zero-sum column maps every entry to 0.
+	for c := range maxs {
+		if sums[c] == 0 {
+			maxs[c] = 0
+		} else {
+			maxs[c] = maxs[c] / sums[c]
+		}
+	}
+	for r, row := range matrix {
+		cost := 0.0
+		for c, a := range attrs {
+			x := 0.0
+			if s := sums[c]; s != 0 {
+				x = row[c] / s
+			}
+			if a.Criterion == Maximize {
+				x = maxs[c] - x
+			}
+			cost += a.Weight * x
+		}
+		costs[r] = cost
+	}
 	return costs, nil
+}
+
+// growFloats returns a length-n slice reusing s's backing array when it
+// is large enough.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
 }
 
 // TotalWeight returns the sum of attribute weights (useful for validating

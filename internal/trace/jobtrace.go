@@ -22,9 +22,17 @@ import (
 // JobTraceKind is the format discriminator in the header line.
 const JobTraceKind = "nlarm-jobtrace"
 
-// JobTraceVersion is the current job-trace schema version. Readers
-// reject other versions instead of guessing.
-const JobTraceVersion = 1
+// JobTraceVersion is the current job-trace schema version. Version 2
+// added the per-job cost fields (cl_cost/nl_cost) written by
+// policy-fidelity simulation runs. Readers accept every version from
+// JobTraceMinVersion through JobTraceVersion and reject anything newer
+// or older instead of guessing.
+const JobTraceVersion = 2
+
+// JobTraceMinVersion is the oldest schema version readers still accept.
+// Version 1 traces contain exactly the version-2 fields minus the
+// optional cost columns, so they parse (and re-serialize) unchanged.
+const JobTraceMinVersion = 1
 
 // JobTraceHeader is the first line of a job trace.
 type JobTraceHeader struct {
@@ -60,6 +68,13 @@ type JobRecord struct {
 	Nodes int `json:"nodes"`
 	// Backfilled marks an out-of-order start.
 	Backfilled bool `json:"backfilled,omitempty"`
+	// CLCost/NLCost are the allocator's compute cost (Σ CL over the
+	// selected nodes) and network cost (Σ NL over selected pairs) of the
+	// placement, recorded by policy-fidelity runs (schema version ≥ 2;
+	// absent on capacity-only runs and rejections). Tuner fitness
+	// functions consume them.
+	CLCost float64 `json:"cl_cost,omitempty"`
+	NLCost float64 `json:"nl_cost,omitempty"`
 }
 
 // JobTraceWriter streams a job trace and maintains a running SHA-256
@@ -70,18 +85,39 @@ type JobTraceWriter struct {
 	hash    hash.Hash
 	records int
 	err     error
+	// encBuf/enc re-encode each record into one reused buffer:
+	// json.Encoder writes the same bytes json.Marshal would (plus the
+	// trailing newline the line format needs anyway), without a fresh
+	// allocation per record — the 1M-job scenario loop writes through
+	// here.
+	encBuf bytes.Buffer
+	enc    *json.Encoder
+	// rec parks the record being encoded: Encode takes an interface, and
+	// boxing the record value directly would heap-allocate a copy per
+	// call. Boxing the pointer to this field does not.
+	rec JobRecord
 }
 
-// NewJobTraceWriter writes the header line for hdr (Kind and Version are
-// filled in) and returns the streaming writer.
+// NewJobTraceWriter writes the header line for hdr (Kind is filled in;
+// a zero Version becomes the current JobTraceVersion, and callers whose
+// records use no post-v1 fields may pin an older accepted version so
+// the emitted bytes stay identical to what that version's writer
+// produced) and returns the streaming writer.
 func NewJobTraceWriter(w io.Writer, hdr JobTraceHeader) (*JobTraceWriter, error) {
 	hdr.Kind = JobTraceKind
-	hdr.Version = JobTraceVersion
+	if hdr.Version == 0 {
+		hdr.Version = JobTraceVersion
+	}
+	if hdr.Version < JobTraceMinVersion || hdr.Version > JobTraceVersion {
+		return nil, fmt.Errorf("trace: job-trace version %d outside writable range %d..%d",
+			hdr.Version, JobTraceMinVersion, JobTraceVersion)
+	}
 	line, err := json.Marshal(hdr)
 	if err != nil {
 		return nil, fmt.Errorf("trace: marshal job-trace header: %w", err)
 	}
 	tw := &JobTraceWriter{w: bufio.NewWriterSize(w, 1<<16), hash: sha256.New()}
+	tw.enc = json.NewEncoder(&tw.encBuf)
 	tw.writeLine(line)
 	return tw, tw.err
 }
@@ -102,15 +138,24 @@ func (tw *JobTraceWriter) writeLine(line []byte) {
 
 // Write appends one record line.
 func (tw *JobTraceWriter) Write(rec JobRecord) error {
-	line, err := json.Marshal(rec)
-	if err != nil {
+	if tw.err != nil {
+		return tw.err
+	}
+	tw.encBuf.Reset()
+	tw.rec = rec
+	if err := tw.enc.Encode(&tw.rec); err != nil {
 		return fmt.Errorf("trace: marshal job record: %w", err)
 	}
-	tw.writeLine(line)
-	if tw.err == nil {
-		tw.records++
+	// Encode already appended the '\n', so write the buffer verbatim —
+	// byte-identical to the json.Marshal + newline path.
+	line := tw.encBuf.Bytes()
+	tw.hash.Write(line)
+	if _, err := tw.w.Write(line); err != nil {
+		tw.err = err
+		return tw.err
 	}
-	return tw.err
+	tw.records++
+	return nil
 }
 
 // Flush drains the buffered output. Call it once after the last record.
@@ -150,8 +195,9 @@ func ReadJobTrace(r io.Reader) (JobTraceHeader, []JobRecord, string, error) {
 	if hdr.Kind != JobTraceKind {
 		return hdr, nil, "", fmt.Errorf("trace: not a job trace (kind %q)", hdr.Kind)
 	}
-	if hdr.Version != JobTraceVersion {
-		return hdr, nil, "", fmt.Errorf("trace: job-trace version %d, this build reads version %d", hdr.Version, JobTraceVersion)
+	if hdr.Version < JobTraceMinVersion || hdr.Version > JobTraceVersion {
+		return hdr, nil, "", fmt.Errorf("trace: job-trace version %d, this build reads versions %d..%d",
+			hdr.Version, JobTraceMinVersion, JobTraceVersion)
 	}
 	var recs []JobRecord
 	for sc.Scan() {

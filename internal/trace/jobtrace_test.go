@@ -96,6 +96,79 @@ func TestJobTraceRejectsWrongKindAndVersion(t *testing.T) {
 	}
 }
 
+// TestJobTraceV1BackwardCompat pins the version-1 compatibility contract
+// the replay tool relies on: a writer pinned to version 1 emits a
+// version-1 header and records byte-identical to what the version-1
+// writer produced (the cost fields are omitempty and absent), and the
+// reader accepts both live versions while rejecting anything outside the
+// range.
+func TestJobTraceV1BackwardCompat(t *testing.T) {
+	var buf bytes.Buffer
+	tw, err := NewJobTraceWriter(&buf, JobTraceHeader{Version: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range sampleRecords() {
+		if err := tw.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Exact bytes of the version-1 format: json.Marshal field order with
+	// no cost columns.
+	wantFirst := `{"kind":"nlarm-jobtrace","version":1,"seed":7}` + "\n" +
+		`{"id":0,"cohort":"batch","procs":32,"ppn":8,"submit_sec":0,"start_sec":0,"end_sec":600,"walltime_sec":900,"nodes":4}` + "\n"
+	if got := buf.String(); !strings.HasPrefix(got, wantFirst) {
+		t.Fatalf("v1-pinned writer bytes changed:\ngot  %q\nwant prefix %q", got[:min(len(got), len(wantFirst))], wantFirst)
+	}
+	hdr, recs, _, err := ReadJobTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("reader rejected v1 trace: %v", err)
+	}
+	if hdr.Version != 1 || len(recs) != 3 {
+		t.Fatalf("v1 read: version %d, %d records", hdr.Version, len(recs))
+	}
+	if _, err := NewJobTraceWriter(&bytes.Buffer{}, JobTraceHeader{Version: 3}); err == nil {
+		t.Fatal("writer accepted unwritable future version")
+	}
+	if _, _, _, err := ReadJobTrace(strings.NewReader(`{"kind":"nlarm-jobtrace","version":0}` + "\n")); err == nil {
+		t.Fatal("version 0 accepted")
+	}
+}
+
+// TestJobTraceCostFieldsRoundTrip exercises the version-2 cost columns.
+func TestJobTraceCostFieldsRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tw, err := NewJobTraceWriter(&buf, JobTraceHeader{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := sampleRecords()[0]
+	rec.CLCost = 3.25
+	rec.NLCost = 0.125
+	if err := tw.Write(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"cl_cost":3.25`) || !strings.Contains(buf.String(), `"nl_cost":0.125`) {
+		t.Fatalf("cost fields missing from v2 record: %s", buf.String())
+	}
+	hdr, recs, _, err := ReadJobTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Version != JobTraceVersion {
+		t.Fatalf("default header version %d, want %d", hdr.Version, JobTraceVersion)
+	}
+	if recs[0] != rec {
+		t.Fatalf("cost round trip: %+v != %+v", recs[0], rec)
+	}
+}
+
 func TestDiffJobRecords(t *testing.T) {
 	a := sampleRecords()
 	b := sampleRecords()
