@@ -24,6 +24,7 @@ import (
 	"nlarm/internal/simtime"
 	"nlarm/internal/stats"
 	"nlarm/internal/store"
+	"nlarm/internal/tune"
 	"nlarm/internal/world"
 )
 
@@ -761,4 +762,42 @@ func BenchmarkBrokerConcurrent(b *testing.B) {
 			benchmarkBrokerPipelined(b, clients)
 		})
 	}
+}
+
+// BenchmarkCounterfactualRescore measures the offline half of the regret
+// pipeline: re-scoring a realistic retained decision trace (64 live
+// broker decisions, k=4 counterfactuals each) under the decision's own
+// α/β. The broker-side retention cost rides the allocate benchmarks; the
+// rescore itself must stay near-alloc-free — the CI allocs/op guard pins
+// it to the ring copy.
+func BenchmarkCounterfactualRescore(b *testing.B) {
+	s, err := harness.NewSession(harness.SessionConfig{
+		Seed:   42,
+		Broker: broker.Config{CounterfactualK: 4},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(s.Close)
+	s.WarmUp(harness.DefaultWarmUp)
+	r := rng.New(7)
+	weights := make([]float64, 0, 64)
+	for i := 0; i < 64; i++ {
+		procs := 4 + 2*r.Intn(5)
+		if _, err := s.Broker.Allocate(broker.Request{Procs: procs, PPN: 2, Force: true}); err != nil {
+			b.Fatal(err)
+		}
+		weights = append(weights, 1+r.Float64()*100)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var rep tune.RegretReport
+	for i := 0; i < b.N; i++ {
+		rep = tune.Regret(s.Broker.Decisions(0), weights)
+	}
+	b.StopTimer()
+	if rep.Evaluated == 0 {
+		b.Fatal("rescored trace evaluated no decisions")
+	}
+	b.ReportMetric(rep.PositiveShare, "positive-share")
 }

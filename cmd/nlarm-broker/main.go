@@ -45,6 +45,7 @@ func main() {
 		inflight = flag.Int("max-inflight", 0, "outstanding batched requests allowed per connection before shedding (0 = default 1024, negative = unlimited)")
 		rate     = flag.Float64("tenant-rate", 0, "per-tenant sustained admission rate in requests/second (0 = no rate limit)")
 		depth    = flag.Int("queue-depth", 0, "per-tenant pending-queue bound; arrivals beyond it are shed (0 = default 1024)")
+		cfK      = flag.Int("counterfactual-k", 0, "retain the k cheapest rejected candidates (with priced CL/NL) in each decision record for offline regret analysis (0 = off)")
 	)
 	flag.Parse()
 
@@ -99,7 +100,7 @@ func main() {
 	if *shardThr > 0 {
 		shard.Plan = alloc.NewShardPlan(cl.Topo.Shards(*shardSz), "topology")
 	}
-	b := broker.New(vst, rt, broker.Config{Seed: *seed, Obs: reg, Shard: shard})
+	b := broker.New(vst, rt, broker.Config{Seed: *seed, Obs: reg, Shard: shard, CounterfactualK: *cfK})
 	// The reserving wrapper closes the monitoring lag for back-to-back
 	// queue launches and shadow-prices the waiting head's claim while the
 	// backfill pass evaluates candidates.

@@ -30,7 +30,7 @@ import (
 
 func main() {
 	var (
-		run     = flag.String("run", "all", "artifact to regenerate (all, fig1, fig2, fig4, fig5, table2, fig6, table3, table4, fig7, cov, ablation, multicluster, predict, cosched, backfill, sim, sweep)")
+		run     = flag.String("run", "all", "artifact to regenerate (all, fig1, fig2, fig4, fig5, table2, fig6, table3, table4, fig7, cov, ablation, multicluster, predict, cosched, backfill, sim, sweep, tuning)")
 		seed    = flag.Uint64("seed", 42, "simulation seed")
 		quick   = flag.Bool("quick", false, "reduced problem sizes and repeats")
 		csv     = flag.String("csv", "", "directory to also write CSV tables into")
@@ -45,7 +45,14 @@ func main() {
 		simPolicy = flag.Bool("sim-policy", false, "sim/sweep: run at policy fidelity (per-job placement over one live cost model)")
 
 		sweepSeeds   = flag.Int("sweep-seeds", 8, "sweep: number of consecutive seeds starting at -seed")
-		sweepWorkers = flag.Int("sweep-workers", 0, "sweep: RunMany worker bound (0 = GOMAXPROCS)")
+		sweepWorkers = flag.Int("sweep-workers", 0, "sweep/tuning: RunMany worker bound (0 = GOMAXPROCS)")
+
+		tuneJobs      = flag.Int("tune-jobs", 0, "tuning: jobs per scenario run (0 = package default)")
+		tuneNodes     = flag.Int("tune-nodes", 0, "tuning: cluster size per scenario run (0 = package default)")
+		tunePop       = flag.Int("tune-pop", 0, "tuning: evolutionary population size (0 = package default)")
+		tuneGens      = flag.Int("tune-gens", 0, "tuning: evolutionary generations (0 = package default)")
+		tuneK         = flag.Int("tune-k", 0, "tuning: counterfactual candidates retained per decision (0 = default)")
+		tuneDecisions = flag.Int("tune-decisions", 0, "tuning: live broker decisions in the regret trace (0 = default)")
 	)
 	flag.Parse()
 
@@ -258,6 +265,29 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(harness.FormatSimSweep(d))
+	}
+
+	if want("tuning") {
+		cfg := harness.TuningConfig{
+			Seed:            *seed,
+			RegretDecisions: *tuneDecisions,
+			CounterfactualK: *tuneK,
+			Nodes:           *tuneNodes,
+			Jobs:            *tuneJobs,
+			Population:      *tunePop,
+			Generations:     *tuneGens,
+			Workers:         *sweepWorkers,
+		}
+		if *quick {
+			cfg.RegretDecisions, cfg.Nodes, cfg.Jobs = 10, 64, 1200
+			cfg.TrainSeeds, cfg.HoldoutSeeds = 2, 2
+			cfg.Population, cfg.Generations = 4, 2
+		}
+		d, err := harness.RunTuning(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(harness.FormatTuning(d))
 	}
 
 	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))

@@ -1,0 +1,32 @@
+package alloc
+
+import "sort"
+
+// TopRejected returns up to k of the cheapest candidates Algorithm 2 did
+// NOT choose, ordered by ascending (TotalLoad, Start) — the runner-up
+// placements a counterfactual analysis prices against the winner. The
+// returned slice is freshly allocated but shares the candidates' Nodes
+// slices (Algorithm 1 materializes those per candidate, so retaining
+// them is safe). k <= 0 or a nil candidate set yields nil.
+func TopRejected(cands []Candidate, bestStart, k int) []Candidate {
+	if k <= 0 || len(cands) == 0 {
+		return nil
+	}
+	rejected := make([]Candidate, 0, len(cands))
+	for i := range cands {
+		if cands[i].Start == bestStart {
+			continue
+		}
+		rejected = append(rejected, cands[i])
+	}
+	sort.Slice(rejected, func(i, j int) bool {
+		if rejected[i].TotalLoad != rejected[j].TotalLoad {
+			return rejected[i].TotalLoad < rejected[j].TotalLoad
+		}
+		return rejected[i].Start < rejected[j].Start
+	})
+	if len(rejected) > k {
+		rejected = rejected[:k:k]
+	}
+	return rejected
+}

@@ -3,6 +3,7 @@ package broker
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"time"
 )
@@ -63,9 +64,13 @@ type AdmissionConfig struct {
 
 func (c AdmissionConfig) withDefaults() AdmissionConfig {
 	if c.TenantBurst <= 0 {
+		// ceil(TenantRate), floored at 1. The old +0.999 trick
+		// under-rounded fractional rates just above an integer (e.g.
+		// 1.0005 → burst 1 instead of 2), which shrank the bucket and
+		// inflated rate-shed RetryAfter hints for those tenants.
 		c.TenantBurst = 1
-		if c.TenantRate > 1 {
-			c.TenantBurst = int(c.TenantRate + 0.999)
+		if b := math.Ceil(c.TenantRate); b > 1 {
+			c.TenantBurst = int(b)
 		}
 	}
 	if c.QueueDepth <= 0 {

@@ -244,3 +244,71 @@ func TestWRRDeterministic(t *testing.T) {
 		t.Fatalf("first WRR sweep took %v, want b=2 a=1 c=1", counts)
 	}
 }
+
+// TestBurstDefaultRounding pins the TenantBurst default to
+// max(1, ceil(TenantRate)). The old int(rate+0.999) rounding collapsed
+// fractional rates just above an integer (1.0005 → 1) and overflowed
+// nothing, but mis-sized the bucket for exactly the tenants whose rate
+// was not integral.
+func TestBurstDefaultRounding(t *testing.T) {
+	cases := []struct {
+		rate  float64
+		burst int
+	}{
+		{0, 1},       // no rate limit still gets a 1-token bucket
+		{0.25, 1},    // sub-1 rates keep the floor
+		{1, 1},       // exact integers are untouched
+		{1.0005, 2},  // just-above-integer rates round up, not down
+		{2.5, 3},     // plain fractional
+		{1000.25, 1001},
+	}
+	for _, c := range cases {
+		got := AdmissionConfig{TenantRate: c.rate}.withDefaults().TenantBurst
+		if got != c.burst {
+			t.Errorf("rate %g: burst %d, want %d", c.rate, got, c.burst)
+		}
+	}
+	// An explicit burst always wins over the derived default.
+	if got := (AdmissionConfig{TenantRate: 9.5, TenantBurst: 2}).withDefaults().TenantBurst; got != 2 {
+		t.Errorf("explicit burst overridden: got %d", got)
+	}
+}
+
+// TestRateShedRetryAfter pins the rate-shed retry hint: with the bucket
+// drained to a known level, RetryAfter is the time for the missing
+// token fraction to refill at TenantRate, floored at 1ms.
+func TestRateShedRetryAfter(t *testing.T) {
+	now := t0
+	a := newAdmission(AdmissionConfig{TenantRate: 2}) // burst 2
+	item := func() *pendingItem { return &pendingItem{tenant: "a", alloc: &Request{Procs: 2}} }
+	// Drain the burst allowance at a frozen clock.
+	for i := 0; i < 2; i++ {
+		if shed := a.admit(item(), now); shed != nil {
+			t.Fatalf("burst request %d shed: %v", i, shed)
+		}
+	}
+	// tokens == 0: one full token at 2 req/s takes 500ms.
+	shed := a.admit(item(), now)
+	if shed == nil || shed.Reason != "rate" {
+		t.Fatalf("expected rate shed, got %+v", shed)
+	}
+	if d := shed.RetryAfter - 500*time.Millisecond; d < -time.Microsecond || d > time.Microsecond {
+		t.Fatalf("RetryAfter = %v, want 500ms", shed.RetryAfter)
+	}
+	// 400ms later the bucket holds 0.8 tokens: 0.2 missing → 100ms.
+	shed = a.admit(item(), now.Add(400*time.Millisecond))
+	if shed == nil || shed.Reason != "rate" {
+		t.Fatalf("expected rate shed, got %+v", shed)
+	}
+	if d := shed.RetryAfter - 100*time.Millisecond; d < -time.Microsecond || d > time.Microsecond {
+		t.Fatalf("RetryAfter = %v, want 100ms", shed.RetryAfter)
+	}
+	// Nearly refilled: the hint never drops below the 1ms floor.
+	shed = a.admit(item(), now.Add(499999*time.Microsecond))
+	if shed == nil {
+		t.Fatal("expected rate shed just before refill")
+	}
+	if shed.RetryAfter < time.Millisecond {
+		t.Fatalf("RetryAfter = %v, want >= 1ms floor", shed.RetryAfter)
+	}
+}

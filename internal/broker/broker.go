@@ -14,7 +14,6 @@ import (
 	"math"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"nlarm/internal/alloc"
@@ -111,6 +110,13 @@ type Response struct {
 	// carries the same fingerprint — the batcher's same-generation
 	// guarantee, testable by clients.
 	SnapshotFP uint64 `json:"snapshot_fp,omitempty"`
+
+	// counterfactuals carries the top-k rejected candidates from the
+	// allocate path into the decision record (Config.CounterfactualK > 0,
+	// net-load-aware only). Unexported: it is decision-log material, not
+	// part of the wire response — clients wanting candidates ask with
+	// Explain.
+	counterfactuals []CounterfactualCandidate
 }
 
 // Config tunes the broker.
@@ -130,6 +136,13 @@ type Config struct {
 	Obs *obs.Registry
 	// DecisionLog bounds the allocation decision ring. Default 256.
 	DecisionLog int
+	// CounterfactualK retains the k cheapest rejected Algorithm 1
+	// candidates (with their decision-time CL/NL pricing) in every
+	// net-load-aware decision record, for counterfactual regret analysis
+	// (internal/tune). 0 — the default — records no counterfactuals and
+	// keeps the allocate path bit-identical to a broker without the
+	// feature.
+	CounterfactualK int
 	// Shard configures the hierarchical cost model (topology-sharded
 	// network-load layer). The zero value leaves sharding off (the dense
 	// exhaustive path at every size); set Shard.Threshold (e.g.
@@ -204,10 +217,13 @@ type Broker struct {
 	degraded   uint64 // responses served from lastGood
 
 	// Observability: counters/histograms plus the bounded decision log
-	// served by the "metrics"/"decisions" wire actions.
+	// served by the "metrics"/"decisions" wire actions. decMu orders Seq
+	// assignment with the ring append (concurrent recordDecision calls
+	// must not interleave between the two), guarding decSeq.
 	obs       *obs.Registry
 	decisions *obs.Ring[DecisionRecord]
-	decSeq    atomic.Uint64
+	decMu     sync.Mutex
+	decSeq    uint64
 }
 
 // modelKey identifies one cached cost model: the snapshot's content
@@ -647,6 +663,7 @@ func (b *Broker) finishDecision(start time.Time, req Request, resp Response, mod
 			rec.Candidates = model.Len()
 		}
 		rec.Contributions, rec.ComputeCost, rec.NetworkCost = contributions(model, resp.Allocation)
+		rec.Counterfactuals = resp.counterfactuals
 	}
 	b.recordDecision(rec)
 	b.obs.Histogram("broker.allocate.seconds").Observe(b.rt.Now().Sub(start).Seconds())
@@ -714,20 +731,39 @@ func (b *Broker) allocateOn(sv snapView, degradedReason string, req Request) (Re
 		model, cacheHit = b.costModel(sv, validated.Weights, validated.UseForecast)
 	}
 	var a alloc.Allocation
-	if nla, ok := pol.(alloc.NetLoadAware); ok && req.Explain {
+	if nla, ok := pol.(alloc.NetLoadAware); ok && (req.Explain || b.cfg.CounterfactualK > 0) {
+		// With CounterfactualK set, non-explain net-load-aware requests
+		// also run the explain path: AllocateModel is a thin wrapper over
+		// AllocateExplainModel, so the winner (and the rng stream — the
+		// policy never draws) is bit-identical, and the candidate set is
+		// already materialized for counterfactual retention.
 		best, cands, err := nla.AllocateExplainModel(model, allocReq)
 		if err != nil {
 			return resp, model, cacheHit, err
 		}
 		a = alloc.Allocation{Policy: nla.Name(), Nodes: best.Nodes, Procs: best.Procs, TotalLoad: best.TotalLoad}
-		for _, c := range cands {
-			resp.Candidates = append(resp.Candidates, CandidateInfo{
-				Start:     c.Start,
-				Nodes:     c.Nodes,
-				TotalLoad: c.TotalLoad,
-				Chosen:    c.Start == best.Start,
-				Spill:     c.Spill,
-			})
+		if req.Explain {
+			for _, c := range cands {
+				resp.Candidates = append(resp.Candidates, CandidateInfo{
+					Start:     c.Start,
+					Nodes:     c.Nodes,
+					TotalLoad: c.TotalLoad,
+					Chosen:    c.Start == best.Start,
+					Spill:     c.Spill,
+				})
+			}
+		}
+		if k := b.cfg.CounterfactualK; k > 0 {
+			for _, c := range alloc.TopRejected(cands, best.Start, k) {
+				resp.counterfactuals = append(resp.counterfactuals, CounterfactualCandidate{
+					Start:       c.Start,
+					Nodes:       c.Nodes,
+					ComputeCost: c.ComputeCost,
+					NetworkCost: c.NetworkCost,
+					TotalLoad:   c.TotalLoad,
+					Spill:       c.Spill,
+				})
+			}
 		}
 	} else if mp, ok := pol.(alloc.ModelPolicy); ok {
 		a, err = mp.AllocateModel(model, allocReq, r)

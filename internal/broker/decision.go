@@ -16,6 +16,30 @@ type NodeContribution struct {
 	NL    float64 `json:"nl"`
 }
 
+// CounterfactualCandidate is one rejected Algorithm 1 sub-graph retained
+// in a decision record for regret analysis: the placement the broker
+// considered and turned down, with the CL/NL sums it was priced at when
+// the decision was made. Retention is opt-in (Config.CounterfactualK)
+// and bounded to the k cheapest rejected candidates per decision.
+type CounterfactualCandidate struct {
+	// Start is the candidate's seed node (v in Algorithm 1).
+	Start int `json:"start"`
+	// Nodes are the candidate's selected nodes in addition order.
+	Nodes []int `json:"nodes"`
+	// ComputeCost is C_G = Σ CL over the candidate's nodes; NetworkCost
+	// is N_G = Σ NL over its pairs (each pair once) — the same raw
+	// Equation 1/2 sums the winner's ComputeCost/NetworkCost report, so
+	// re-scoring chosen-vs-rejected under any α/β is a plain weighted sum.
+	ComputeCost float64 `json:"cl"`
+	NetworkCost float64 `json:"nl"`
+	// TotalLoad is the candidate's Equation 4 score after Algorithm 2's
+	// cross-candidate normalization at decision time.
+	TotalLoad float64 `json:"total_load"`
+	// Spill marks a hierarchically generated candidate that crossed shard
+	// boundaries.
+	Spill bool `json:"spill,omitempty"`
+}
+
 // DecisionRecord is the structured trace of one Allocate call — the
 // machine-readable answer to "why did the broker pick these nodes". The
 // broker retains the most recent records in a bounded ring served by the
@@ -55,6 +79,12 @@ type DecisionRecord struct {
 	ComputeCost   float64            `json:"compute_cost,omitempty"` // Σ CL over chosen nodes
 	NetworkCost   float64            `json:"network_cost,omitempty"` // Σ NL over chosen pairs
 	TotalLoad     float64            `json:"total_load,omitempty"`   // policy-internal T_G of the winner
+
+	// Counterfactuals holds the top-k rejected candidates with their
+	// decision-time pricing (net-load-aware policy only, opt-in via
+	// Config.CounterfactualK; omitted entirely at k=0 so existing decision
+	// consumers and goldens see byte-identical records).
+	Counterfactuals []CounterfactualCandidate `json:"counterfactuals,omitempty"`
 }
 
 // contributions derives per-node CL/NL shares for the chosen allocation
@@ -76,10 +106,7 @@ func contributions(m *alloc.CostModel, a alloc.Allocation) (contribs []NodeContr
 			}
 		}
 	}
-	n := 0
-	if m != nil {
-		n = m.Len()
-	}
+	priceNL := m != nil && m.NLErr() == nil
 	for i, node := range a.Nodes {
 		c := NodeContribution{Node: node, Procs: a.Procs[node]}
 		if j := idx[i]; j >= 0 {
@@ -87,12 +114,16 @@ func contributions(m *alloc.CostModel, a alloc.Allocation) (contribs []NodeContr
 				c.CL = m.CLUnit[j]
 				computeCost += c.CL
 			}
-			if len(m.NLUnit) == n*n {
+			if priceNL {
+				// PairNLUnit dispatches on the model's representation —
+				// flat matrix on dense models, the hierarchical shard
+				// layer above the shard threshold — so sharded decisions
+				// price their network cost instead of reporting zero.
 				for k, other := range idx {
 					if k == i || other < 0 {
 						continue
 					}
-					c.NL += m.NLUnit[j*n+other]
+					c.NL += m.PairNLUnit(j, other)
 				}
 				networkCost += c.NL
 			}
@@ -103,10 +134,16 @@ func contributions(m *alloc.CostModel, a alloc.Allocation) (contribs []NodeContr
 }
 
 // recordDecision appends one decision to the ring and bumps the outcome
-// counters.
+// counters. Seq assignment and the ring append happen under one lock:
+// batched allocates can finish decisions concurrently with single-request
+// callers, and a Seq drawn outside the append's critical section could
+// land in the ring out of Seq order.
 func (b *Broker) recordDecision(rec DecisionRecord) {
-	rec.Seq = b.decSeq.Add(1)
+	b.decMu.Lock()
+	b.decSeq++
+	rec.Seq = b.decSeq
 	b.decisions.Append(rec)
+	b.decMu.Unlock()
 	b.obs.Counter("broker.allocate.total").Inc()
 	switch {
 	case rec.Error != "":

@@ -45,6 +45,11 @@ type PolicyConfig struct {
 	// charged (default: the monitor period — by then the refresh has
 	// folded the committed ranks into the model).
 	ReserveTTLSec float64 `json:"reserve_ttl_sec,omitempty"`
+	// Weights overrides the Equation 1/2 attribute weights the run's cost
+	// model is priced with (nil: the paper's §5 weights). The tuner sweeps
+	// this jointly with Alpha/Beta; nil keeps existing configs — and their
+	// trace headers — byte-identical.
+	Weights *alloc.Weights `json:"weights,omitempty"`
 }
 
 func (pc PolicyConfig) withDefaults(nodes int) PolicyConfig {
@@ -154,11 +159,15 @@ func newPolicyState(cfg ScenarioConfig, ps *policyScratch) (*policyState, error)
 	pc := *cfg.Policy
 	n := cfg.Nodes
 	snap := buildPolicySnapshot(cfg, pc)
+	w := alloc.PaperWeights()
+	if pc.Weights != nil {
+		w = *pc.Weights
+	}
 	var m *alloc.CostModel
 	if pc.ShardThreshold > 0 {
-		m = alloc.NewCostModelSharded(snap, alloc.PaperWeights(), false, alloc.ShardOptions{Threshold: pc.ShardThreshold})
+		m = alloc.NewCostModelSharded(snap, w, false, alloc.ShardOptions{Threshold: pc.ShardThreshold})
 	} else {
-		m = alloc.NewCostModel(snap, alloc.PaperWeights(), false)
+		m = alloc.NewCostModel(snap, w, false)
 	}
 	if err := m.CLErr(); err != nil {
 		return nil, fmt.Errorf("sim: policy model: %w", err)
@@ -177,7 +186,7 @@ func newPolicyState(cfg ScenarioConfig, ps *policyScratch) (*policyState, error)
 			return nil, fmt.Errorf("sim: policy model index %d maps to node %d", i, id)
 		}
 	}
-	req := alloc.Request{Procs: 1, Alpha: pc.Alpha, Beta: pc.Beta, Weights: alloc.PaperWeights()}
+	req := alloc.Request{Procs: 1, Alpha: pc.Alpha, Beta: pc.Beta, Weights: w}
 	vreq, err := req.Validate()
 	if err != nil {
 		return nil, err

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"strings"
 	"time"
 
@@ -110,10 +111,60 @@ type ScenarioResult struct {
 	EventsFired uint64 `json:"events_fired"`
 	// Digest is the SHA-256 of the job trace — the determinism handle.
 	Digest string `json:"digest"`
+	// Cohorts breaks completed-job wait statistics down per workload
+	// cohort, sorted by cohort name — the inputs to Jain-fairness scoring
+	// across user classes (internal/tune).
+	Cohorts []CohortStat `json:"cohorts,omitempty"`
 	// Policy summarizes the placement layer on policy-fidelity runs.
 	Policy *PolicyStats `json:"policy,omitempty"`
 	// WallTime is how long the run took in real time.
 	WallTime time.Duration `json:"wall_time"`
+}
+
+// CohortStat is one cohort's completed-job wait summary.
+type CohortStat struct {
+	Name        string  `json:"name"`
+	Completed   int     `json:"completed"`
+	MeanWaitSec float64 `json:"mean_wait_sec"`
+	MaxWaitSec  float64 `json:"max_wait_sec"`
+}
+
+// cohortAcc accumulates one cohort's completed-job waits.
+type cohortAcc struct {
+	n       int
+	waitSum float64
+	waitMax float64
+}
+
+func (a *cohortAcc) add(waitSec float64) {
+	a.n++
+	a.waitSum += waitSec
+	if waitSec > a.waitMax {
+		a.waitMax = waitSec
+	}
+}
+
+// cohortStats flattens the accumulators into name-sorted CohortStats so
+// results are deterministic regardless of map order.
+func cohortStats(m map[string]*cohortAcc) []CohortStat {
+	if len(m) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]CohortStat, 0, len(names))
+	for _, name := range names {
+		acc := m[name]
+		cs := CohortStat{Name: name, Completed: acc.n, MaxWaitSec: acc.waitMax}
+		if acc.n > 0 {
+			cs.MeanWaitSec = acc.waitSum / float64(acc.n)
+		}
+		out = append(out, cs)
+	}
+	return out
 }
 
 // simJob is one job's state inside the capacity model. Jobs are
@@ -172,6 +223,7 @@ type scenario struct {
 	runHeap  []runEntry
 	startSeq int
 	res      ScenarioResult
+	cohorts  map[string]*cohortAcc
 	firstSub time.Time
 	lastEnd  time.Time
 	waitSum  float64
@@ -225,12 +277,13 @@ func runScenario(cfg ScenarioConfig, traceOut io.Writer, rs *runScratch) (*Scena
 		return nil, err
 	}
 	s := &scenario{
-		cfg:  cfg,
-		loop: NewLoop(simtime.NewScheduler(cfg.Start)),
-		gen:  gen,
-		tw:   tw,
-		rs:   rs,
-		free: cfg.Nodes,
+		cfg:     cfg,
+		loop:    NewLoop(simtime.NewScheduler(cfg.Start)),
+		gen:     gen,
+		tw:      tw,
+		rs:      rs,
+		free:    cfg.Nodes,
+		cohorts: make(map[string]*cohortAcc),
 	}
 	if cfg.Policy != nil {
 		pol, err := newPolicyState(cfg, &rs.pol)
@@ -269,6 +322,7 @@ func runScenario(cfg ScenarioConfig, traceOut io.Writer, rs *runScratch) (*Scena
 		s.res.UtilizationPct = 100 * s.busySec / (float64(cfg.Nodes) * s.res.MakespanSec)
 	}
 	s.res.Digest = tw.Digest()
+	s.res.Cohorts = cohortStats(s.cohorts)
 	if s.pol != nil {
 		s.res.Policy = s.pol.finalize()
 	}
@@ -478,6 +532,13 @@ func (s *scenario) finishJob(j *simJob, now time.Time) {
 	}
 	s.busySec += float64(j.nodes) * j.service.Seconds()
 	s.res.Completed++
+	if acc, ok := s.cohorts[j.cohort]; ok {
+		acc.add(j.start.Sub(j.submit).Seconds())
+	} else {
+		acc = &cohortAcc{}
+		acc.add(j.start.Sub(j.submit).Seconds())
+		s.cohorts[j.cohort] = acc
+	}
 	if now.After(s.lastEnd) {
 		s.lastEnd = now
 	}

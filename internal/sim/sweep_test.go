@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -32,8 +33,13 @@ func requireSameRun(t *testing.T, tag string, i int, got, want *ScenarioResult) 
 	g.WallTime, w.WallTime = 0, 0
 	gp, wp := g.Policy, w.Policy
 	g.Policy, w.Policy = nil, nil
-	if g != w {
+	gc, wc := g.Cohorts, w.Cohorts
+	g.Cohorts, w.Cohorts = nil, nil
+	if !reflect.DeepEqual(g, w) {
 		t.Fatalf("%s: run %d diverged:\ngot  %+v\nwant %+v", tag, i, g, w)
+	}
+	if !reflect.DeepEqual(gc, wc) {
+		t.Fatalf("%s: run %d cohort stats diverged:\ngot  %+v\nwant %+v", tag, i, gc, wc)
 	}
 	if (gp == nil) != (wp == nil) || (gp != nil && *gp != *wp) {
 		t.Fatalf("%s: run %d policy stats diverged:\ngot  %+v\nwant %+v", tag, i, gp, wp)

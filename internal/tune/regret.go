@@ -1,0 +1,83 @@
+package tune
+
+import (
+	"math"
+
+	"nlarm/internal/broker"
+)
+
+// RegretReport aggregates per-decision counterfactual regret over a
+// broker decision trace. Regret for one decision is
+// max(0, raw(chosen) − min_i raw(rejected_i)) with
+// raw(c) = α·C_G + β·N_G — the un-normalized Equation 4 cost at the
+// decision's own α/β. Algorithm 2 scores candidates after normalizing
+// C_G and N_G by their cross-candidate sums, so the winner is not always
+// the raw-cost minimum; positive regret quantifies how much raw cost
+// that normalization traded away on each decision.
+type RegretReport struct {
+	// Decisions is the trace length; Evaluated counts successful
+	// allocations that retained counterfactual candidates.
+	Decisions int `json:"decisions"`
+	Evaluated int `json:"evaluated"`
+	// Positive counts evaluated decisions where some retained rejected
+	// candidate was raw-cost cheaper than the chosen one.
+	Positive int `json:"positive"`
+	// TotalRegret/MeanRegret/MaxRegret aggregate the clamped per-decision
+	// regret over evaluated decisions (mean over all evaluated, zeros
+	// included).
+	TotalRegret float64 `json:"total_regret"`
+	MeanRegret  float64 `json:"mean_regret"`
+	MaxRegret   float64 `json:"max_regret"`
+	// WeightedRegret weights each decision's regret by its realized
+	// outcome weight (node-seconds actually consumed by the granted job;
+	// 1 when the caller has no outcome for a decision) — regret on a
+	// long-running placement matters more than on one that finished in
+	// seconds.
+	WeightedRegret float64 `json:"weighted_regret"`
+	// PositiveShare is Positive/Evaluated.
+	PositiveShare float64 `json:"positive_share"`
+}
+
+// Regret re-scores every decision's retained counterfactual candidates
+// against the choice the broker made. weights[i] is the realized outcome
+// weight of recs[i] (see RegretReport.WeightedRegret); a nil or short
+// slice defaults the missing entries to 1.
+func Regret(recs []broker.DecisionRecord, weights []float64) RegretReport {
+	rep := RegretReport{Decisions: len(recs)}
+	for i, rec := range recs {
+		if rec.Error != "" || rec.Recommendation != broker.RecommendAllocate || len(rec.Counterfactuals) == 0 {
+			continue
+		}
+		alpha, beta := rec.Alpha, rec.Beta
+		if alpha == 0 && beta == 0 {
+			alpha, beta = 0.5, 0.5
+		}
+		chosen := alpha*rec.ComputeCost + beta*rec.NetworkCost
+		minAlt := math.Inf(1)
+		for _, cf := range rec.Counterfactuals {
+			if c := alpha*cf.ComputeCost + beta*cf.NetworkCost; c < minAlt {
+				minAlt = c
+			}
+		}
+		rep.Evaluated++
+		r := chosen - minAlt
+		if r <= 0 {
+			continue
+		}
+		rep.Positive++
+		rep.TotalRegret += r
+		if r > rep.MaxRegret {
+			rep.MaxRegret = r
+		}
+		w := 1.0
+		if i < len(weights) && weights[i] > 0 {
+			w = weights[i]
+		}
+		rep.WeightedRegret += r * w
+	}
+	if rep.Evaluated > 0 {
+		rep.MeanRegret = rep.TotalRegret / float64(rep.Evaluated)
+		rep.PositiveShare = float64(rep.Positive) / float64(rep.Evaluated)
+	}
+	return rep
+}
